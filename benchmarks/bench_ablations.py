@@ -1,0 +1,199 @@
+"""Ablation benchmarks: design-knob sweeps and future-work experiments.
+
+* delay-scheduler patience sweep (the knob behind Fig. 3/4's DS curves);
+* map-slots crossover (the paper's central processors-per-node thesis);
+* heptagon vs heptagon-local locality equivalence (Section 3.2 remark);
+* degraded MapReduce traffic with partial parities (Section 5 plan);
+* MTTDL model sensitivity (pattern vs conservative, parallel vs serial).
+"""
+
+import pytest
+
+from repro.experiments import ablations, render_figure, render_table
+
+from conftest import assert_shape
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_delay_sensitivity_sweep(benchmark, save_report):
+    figure = benchmark.pedantic(
+        lambda: ablations.delay_sensitivity(trials=20), rounds=1, iterations=1)
+    ys = figure.series[0].ys
+    assert_shape({
+        "impatient scheduler is worst": ys[0] <= min(ys[1:]) + 1.0,
+        "patience saturates": abs(ys[-1] - ys[-2]) < 5.0,
+    })
+    save_report("ablation_delay_sensitivity", render_figure(figure))
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_slots_crossover(benchmark, save_report):
+    figure = benchmark.pedantic(
+        lambda: ablations.slots_crossover(trials=20), rounds=1, iterations=1)
+    gap_at = {
+        slots: figure.get("2-rep").y_at(slots) - figure.get("pentagon").y_at(slots)
+        for slots in figure.get("2-rep").xs
+    }
+    assert_shape({
+        "gap shrinks monotonically in the large": gap_at[8] < gap_at[2],
+        "gap under 6 points by 8 slots": gap_at[8] < 6.0,
+    })
+    lines = [render_figure(figure), "",
+             "locality gap 2-rep minus pentagon by map slots:"]
+    for slots, gap in gap_at.items():
+        lines.append(f"  mu={slots:.0f}: {gap:5.1f} points")
+    save_report("ablation_slots_crossover", "\n".join(lines))
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_heptagon_local_locality_equivalence(benchmark, save_report):
+    stats = benchmark.pedantic(
+        lambda: ablations.heptagon_local_equivalence(trials=30),
+        rounds=1, iterations=1)
+    gap = stats["heptagon-local"].mean - stats["heptagon"].mean
+    assert -2.0 <= gap <= 10.0
+    save_report("ablation_hl_equivalence", (
+        "Section 3.2 check: global parity node does not hurt task locality\n"
+        f"  heptagon:        {stats['heptagon'].mean:5.1f}%\n"
+        f"  heptagon-local:  {stats['heptagon-local'].mean:5.1f}%"))
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_degraded_mapreduce_traffic(benchmark, save_report):
+    rows = benchmark.pedantic(ablations.degraded_job_sweep, rounds=1, iterations=1)
+    by = {row["code"]: row for row in rows}
+    assert_shape({
+        "pentagon rebuilds 3x cheaper than RAID+m": (
+            3 * by["pentagon"]["blocks per rebuild"]
+            == by["(10,9) RAID+m"]["blocks per rebuild"]
+        ),
+    })
+    save_report("ablation_degraded_mr", render_table(
+        list(rows[0].keys()), [list(r.values()) for r in rows],
+        title="Terasort with 10% of blocks needing on-the-fly rebuild"))
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_mttdl_model_sensitivity(benchmark, save_report):
+    """How the MTTDL column moves across model variants."""
+    from repro.reliability import ReliabilityParams, system_mttdl_years
+
+    def sweep():
+        rows = []
+        for repair in ("parallel", "serial"):
+            params = ReliabilityParams(node_mttf_hours=10 * 8766.0,
+                                       node_mttr_hours=24.0, repair=repair)
+            for model in ("pattern", "conservative"):
+                for code in ("3-rep", "pentagon", "heptagon-local"):
+                    rows.append([
+                        code, repair, model,
+                        system_mttdl_years(code, params, 25, model=model),
+                    ])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report("ablation_mttdl_models", render_table(
+        ["code", "repair", "loss model", "MTTDL (y)"], rows,
+        title="MTTDL sensitivity at MTTF=10y, MTTR=24h"))
+    # Orderings hold in every variant.
+    import itertools
+    for repair, model in itertools.product(("parallel", "serial"),
+                                           ("pattern", "conservative")):
+        subset = {r[0]: r[3] for r in rows if r[1] == repair and r[2] == model}
+        assert subset["pentagon"] < subset["3-rep"] < subset["heptagon-local"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_multi_job_sustained_load(benchmark, save_report):
+    """Intro-motivated extension: locality and queueing under a stream
+    of concurrent jobs (Poisson arrivals, FIFO service)."""
+    from repro.mapreduce import MRSimConfig, MiB, sustained_load_sweep
+
+    config = MRSimConfig(node_count=25, map_slots=2, block_bytes=64 * MiB,
+                         map_mean_s=20.0, map_sigma_s=1.0, heartbeat_s=1.0,
+                         delay_s=3.0, reduce_base_s=2.0)
+    rows = benchmark.pedantic(
+        lambda: sustained_load_sweep(("2-rep", "pentagon", "heptagon"),
+                                     config, utilisations=(0.5, 0.8, 0.95),
+                                     job_count=12),
+        rounds=1, iterations=1)
+    save_report("ablation_multijob", render_table(
+        list(rows[0].keys()), [list(r.values()) for r in rows],
+        title="Sustained multi-job load (25 nodes, 2 slots, 50% jobs)"))
+    by = {(r["code"], r["utilisation"]): r for r in rows}
+    for u in (0.5, 0.8, 0.95):
+        assert (by[("heptagon", u)]["locality %"]
+                <= by[("2-rep", u)]["locality %"] + 1.0)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_raidnode_space_reclaim(benchmark, save_report):
+    """HDFS-RAID lifecycle: write replicated, raid in the background."""
+    import numpy as np
+
+    from repro.cluster import ClusterTopology, MiniHDFS, RaidNode, RaidPolicy
+
+    def lifecycle():
+        fs = MiniHDFS(ClusterTopology.flat(25), block_bytes=512, seed=11)
+        rng = np.random.default_rng(5)
+        originals = {}
+        for i in range(4):
+            name = f"warehouse/table{i}"
+            data = bytes(rng.integers(0, 256, 512 * 9, dtype=np.uint8))
+            originals[name] = data
+            fs.write_file(name, data, "3-rep")
+        before = fs.stored_bytes()
+        raid = RaidNode(fs, [RaidPolicy("warehouse/", "pentagon")])
+        report = raid.raid_all()
+        return before, fs.stored_bytes(), report, raid.verify_all(originals)
+
+    before, after, report, intact = benchmark.pedantic(
+        lifecycle, rounds=1, iterations=1)
+    assert intact
+    assert len(report.raided) == 4
+    save_report("ablation_raidnode", (
+        "HDFS-RAID lifecycle: 4 files, 3-rep -> pentagon\n"
+        f"  stored before: {before} B (3.00x)\n"
+        f"  stored after:  {after} B ({after / (before / 3):.2f}x)\n"
+        f"  reclaimed:     {report.bytes_reclaimed} B"))
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_transient_failure_economics(benchmark, save_report):
+    """Intro claim: avoiding repairs on transient failures saves
+    bandwidth, and the double-replication codes rebuild at replication
+    cost while RS pays a 10x multiplier."""
+    from repro.experiments import transient
+
+    rows = benchmark.pedantic(
+        lambda: transient.timeout_sweep(
+            model=transient.TransientModel(horizon_hours=24 * 365)),
+        rounds=1, iterations=1)
+    assert_shape(transient.shape_checks(rows))
+    save_report("ablation_transient", render_table(
+        transient.HEADERS, [r.as_list() for r in rows],
+        title="Repair-timeout policy: repairs avoided vs degraded exposure "
+              "(25 nodes, 1 outage/node/week, 30 min mean)"))
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_scheduler_assignment_speed(benchmark):
+    """Throughput microbenchmark of the three schedulers at mu=4."""
+    import numpy as np
+
+    from repro.scheduling import make_scheduler
+    from repro.workloads import workload_for_load
+
+    tasks = workload_for_load("pentagon", 100.0, 25, 4,
+                              np.random.default_rng(0))
+
+    def assign_all():
+        out = {}
+        for name in ("delay", "max-matching", "peeling"):
+            scheduler = make_scheduler(name)
+            out[name] = scheduler.assign(
+                tasks, 25, 4, np.random.default_rng(1)).local_count
+        return out
+
+    counts = benchmark(assign_all)
+    assert counts["max-matching"] >= counts["peeling"] - 1

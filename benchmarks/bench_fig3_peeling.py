@@ -1,0 +1,33 @@
+"""Benchmark regenerating Fig. 3's fourth panel: the modified peeling
+algorithm vs delay scheduling vs maximum matching at mu = 4."""
+
+import pytest
+
+from repro.experiments import fig3, render_figure
+
+from conftest import assert_shape
+
+TRIALS = 30
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_peeling_panel(benchmark, save_report):
+    panel = benchmark.pedantic(
+        lambda: fig3.peeling_panel(slots_per_node=4, trials=TRIALS),
+        rounds=1, iterations=1,
+    )
+    checks = {}
+    for code in ("pent", "hept"):
+        for load in (75.0, 100.0):
+            delay = panel.get(f"{code}-DS").y_at(load)
+            peel = panel.get(f"{code}-peel").y_at(load)
+            matching = panel.get(f"{code}-MM").y_at(load)
+            checks[f"{code}@{load:.0f}%: DS <= peeling <= MM"] = (
+                delay - 1.0 <= peel <= matching + 1.0
+            )
+    checks["peeling visibly improves on DS at full load (pentagon)"] = (
+        panel.get("pent-peel").y_at(100.0)
+        > panel.get("pent-DS").y_at(100.0)
+    )
+    assert_shape(checks)
+    save_report("fig3_peeling_mu4", render_figure(panel))

@@ -1,0 +1,64 @@
+"""Benchmark regenerating Fig. 4: Terasort on set-up 1.
+
+25 data nodes, 2 map + 1 reduce slots, 128 MB blocks.  Three panels:
+job time, network traffic and data locality vs load for 3-rep, 2-rep,
+pentagon and heptagon.
+"""
+
+import pytest
+
+from repro.experiments import fig4, render_figure
+
+from conftest import assert_shape
+
+RUNS = 12
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_terasort_setup1(benchmark, save_report):
+    panels = benchmark.pedantic(
+        lambda: fig4.figure4(runs=RUNS), rounds=1, iterations=1)
+    assert_shape(fig4.shape_checks(panels))
+    report = "\n\n".join(
+        render_figure(panels[name]) for name in ("job_time", "traffic", "locality")
+    )
+    save_report("fig4_setup1", report)
+
+    # The traffic plots stay within the paper's 0-3 GB axis range.
+    traffic = panels["traffic"]
+    for code in fig4.CODES:
+        assert 0.0 <= max(traffic.get(code).ys) <= 3.5
+
+    # Conclusion (iv): coded schemes pay substantially at 2 map slots.
+    job = panels["job_time"]
+    assert job.get("heptagon").y_at(75.0) > 1.10 * job.get("3-rep").y_at(75.0)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_traffic_locality_coupling(benchmark, save_report):
+    """Conclusion (iii): excess traffic is explained by locality loss.
+
+    For every (code, load), remote tasks x block size should equal the
+    measured fetch traffic within rounding.
+    """
+    from repro.mapreduce import run_terasort, setup1
+
+    def measure():
+        config = setup1()
+        rows = []
+        for code in ("2-rep", "pentagon", "heptagon"):
+            for load in (50.0, 100.0):
+                stats = run_terasort(code, load, config, runs=6,
+                                     seed_tag="fig4-coupling")
+                predicted = ((100.0 - stats.locality_percent) / 100.0
+                             * load / 100.0 * config.total_map_slots
+                             * config.block_bytes / 2**30)
+                rows.append((code, load, stats.traffic_gb, predicted))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["code       load   measured GB  (1-locality)*input GB"]
+    for code, load, measured, predicted in rows:
+        lines.append(f"{code:10s} {load:5.0f}  {measured:11.2f}  {predicted:12.2f}")
+        assert measured == pytest.approx(predicted, rel=0.05, abs=0.05)
+    save_report("fig4_traffic_coupling", "\n".join(lines))

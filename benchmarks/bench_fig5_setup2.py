@@ -1,0 +1,37 @@
+"""Benchmark regenerating Fig. 5: Terasort on set-up 2.
+
+9 server-class nodes, 4 map + 2 reduce slots, 512 MB blocks; network
+traffic and data locality vs load for 3-rep, 2-rep and pentagon, plus
+the job-time panel the paper reports only in prose ("with 4 cores, the
+pentagon code has performance very close to that of the 2-rep code even
+at a load of 75%").
+"""
+
+import pytest
+
+from repro.experiments import fig5, render_figure
+
+from conftest import assert_shape
+
+RUNS = 12
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_terasort_setup2(benchmark, save_report):
+    panels = benchmark.pedantic(
+        lambda: fig5.figure5(runs=RUNS), rounds=1, iterations=1)
+    assert_shape(fig5.shape_checks(panels))
+    report = "\n\n".join(
+        render_figure(panels[name]) for name in ("traffic", "locality", "job_time")
+    )
+    save_report("fig5_setup2", report)
+
+    # Traffic fits the paper's 0-4 GB axis.
+    traffic = panels["traffic"]
+    for code in fig5.CODES:
+        assert 0.0 <= max(traffic.get(code).ys) <= 4.0
+
+    # The mu=2 -> mu=4 improvement (paper conclusion iv): pentagon's
+    # locality at 75% load is dramatically better here than in set-up 1.
+    locality = panels["locality"]
+    assert locality.get("pentagon").y_at(75.0) >= 90.0

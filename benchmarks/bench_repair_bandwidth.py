@@ -1,0 +1,46 @@
+"""Benchmark regenerating the Section 2.1 / 3.1 repair-bandwidth claims
+on a live MiniHDFS with real bytes."""
+
+import pytest
+
+from repro.experiments import render_table, repair_bandwidth
+
+from conftest import assert_shape
+
+
+@pytest.mark.benchmark(group="repair")
+def test_repair_bandwidth_measurements(benchmark, save_report):
+    measurements = benchmark.pedantic(
+        repair_bandwidth.measure_all, rounds=1, iterations=1)
+    assert_shape(repair_bandwidth.shape_checks(measurements))
+    save_report("repair_bandwidth", render_table(
+        repair_bandwidth.HEADERS,
+        [m.as_list() for m in measurements],
+        title="Repair / degraded-read bandwidth (block units, measured)"))
+
+    by = {m.code: m for m in measurements}
+    # The paper's exact numbers.
+    assert by["pentagon"].double_repair_blocks == 10
+    assert by["pentagon"].degraded_read_blocks == 3
+    assert by["(10,9) RAID+m"].degraded_read_blocks == 9
+    assert by["pentagon"].single_repair_blocks == 4
+    assert by["heptagon"].single_repair_blocks == 6
+
+
+@pytest.mark.benchmark(group="repair")
+def test_two_node_repair_scaling(benchmark, save_report):
+    """Polygon two-node repair cost follows 3(n-2)+1 blocks."""
+    from repro.core import PolygonCode
+
+    def measure():
+        return {
+            n: PolygonCode(n).plan_node_repair([0, 1]).network_blocks
+            for n in range(4, 10)
+        }
+
+    costs = benchmark(measure)
+    lines = ["n   two-node repair blocks   3(n-2)+1"]
+    for n, cost in costs.items():
+        lines.append(f"{n}   {cost:22d}   {3 * (n - 2) + 1:8d}")
+        assert cost == 3 * (n - 2) + 1
+    save_report("repair_scaling", "\n".join(lines))

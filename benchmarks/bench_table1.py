@@ -1,0 +1,49 @@
+"""Benchmark regenerating Table 1 (storage overhead, length, MTTDL).
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only -s``.
+"""
+
+import pytest
+
+from repro.experiments import render_table, table1
+
+from conftest import assert_shape
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_regeneration(benchmark, save_report):
+    """Calibrate the environment and rebuild all six Table 1 rows."""
+    result = benchmark(table1.build_table1)
+    assert_shape(table1.shape_checks(result))
+
+    mttf_years = result.params.node_mttf_hours / 8766.0
+    header = (
+        f"Table 1 — 25-node system, calibrated node MTTF = "
+        f"{mttf_years:.1f} y, MTTR = {result.params.node_mttr_hours:.0f} h "
+        f"({result.params.repair} repair)"
+    )
+    save_report("table1", header + "\n" + render_table(
+        table1.Table1Result.HEADERS, result.as_rows()))
+
+    # Exact static columns.
+    for row in result.rows:
+        assert row.storage_overhead == pytest.approx(
+            table1.PAPER_OVERHEAD[row.code], abs=0.005)
+    lengths = {row.code: row.code_length for row in result.rows}
+    assert lengths == {"3-rep": 3, "pentagon": 5, "heptagon": 7,
+                       "heptagon-local": 15, "(10,9) RAID+m": 20,
+                       "(12,11) RAID+m": 24}
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_uncalibrated_sensitivity(benchmark, save_report):
+    """Same table under explicit realistic rates (no calibration), to
+    show which orderings are parameter-independent."""
+    from repro.reliability import ReliabilityParams
+
+    params = ReliabilityParams(node_mttf_hours=10 * 8766.0, node_mttr_hours=24.0)
+    result = benchmark(lambda: table1.build_table1(params=params))
+    assert_shape(table1.shape_checks(result))
+    save_report("table1_uncalibrated", render_table(
+        table1.Table1Result.HEADERS, result.as_rows(),
+        title="Table 1 under MTTF=10y, MTTR=24h (no calibration)"))

@@ -1,0 +1,34 @@
+"""Shared benchmark utilities.
+
+Each benchmark regenerates one of the paper's tables/figures, asserts
+its qualitative shape claims, and writes the rendered text both to
+stdout and to ``results/<name>.txt`` so the regenerated rows/series
+survive the run (pytest captures stdout unless ``-s`` is passed).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def save_report():
+    """Persist and echo a rendered experiment report."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def assert_shape(checks: dict[str, bool]) -> None:
+    """Fail with a readable message when any paper claim breaks."""
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"paper shape claims violated: {failed}"

@@ -1,0 +1,57 @@
+"""Reliability study: regenerating Table 1's MTTDL column.
+
+Calibrates the node failure rate so 3-rep matches the paper's
+1.20e9-year MTTDL on a 25-node system, prints every scheme under both
+loss models, and validates a Markov chain against Monte-Carlo
+simulation at accelerated failure rates.
+
+Run:  python examples/reliability_study.py
+"""
+
+import numpy as np
+
+from repro.core import make_code
+from repro.experiments import render_table, table1
+from repro.reliability import (
+    ReliabilityParams,
+    group_model,
+    relative_error,
+    simulate_group_mttd,
+)
+
+
+def main() -> None:
+    print("=== Table 1 (calibrated to the paper's 3-rep anchor) ===")
+    result = table1.build_table1()
+    print(render_table(table1.Table1Result.HEADERS, result.as_rows()))
+    mttf_years = result.params.node_mttf_hours / 8766.0
+    print(f"\ncalibrated environment: node MTTF = {mttf_years:.1f} years, "
+          f"MTTR = {result.params.node_mttr_hours:.0f} h, "
+          f"{result.params.repair} repair")
+
+    checks = table1.shape_checks(result)
+    print("\nqualitative claims:")
+    for name, ok in checks.items():
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+
+    print("\n=== Monte-Carlo validation (accelerated rates) ===")
+    fast = ReliabilityParams(node_mttf_hours=100.0, node_mttr_hours=10.0)
+    rng = np.random.default_rng(0)
+    for code_name in ("3-rep", "pentagon", "(4,3) RAID+m"):
+        model = group_model(code_name, fast)
+        analytic = model.mttdl_hours()
+        simulated = simulate_group_mttd(make_code(code_name), fast, rng,
+                                        trials=600)
+        error = relative_error(simulated, analytic)
+        print(f"  {code_name:14s} chain {analytic:9.1f} h   "
+              f"simulated {simulated:9.1f} h   error {100 * error:4.1f}%")
+
+    print("\nwhy the pentagon beats (10,9) RAID+m despite equal overhead:")
+    pentagon = make_code("pentagon")
+    raidm = make_code("(10,9) RAID+m")
+    print(f"  pentagon : length {pentagon.length:2d} -> deployable on 5 nodes")
+    print(f"  RAID+m   : length {raidm.length:2d} -> needs 20 nodes per stripe")
+
+
+if __name__ == "__main__":
+    main()

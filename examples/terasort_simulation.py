@@ -1,0 +1,51 @@
+"""Terasort simulation: the paper's Section 4 experiments end-to-end.
+
+Replays the two test beds in the discrete-event simulator:
+
+* set-up 1 — 25 dual-core nodes (2 map slots), 128 MB blocks (Fig. 4);
+* set-up 2 — 9 four-core servers (4 map slots), 512 MB blocks (Fig. 5);
+
+and prints job time, data locality and locality-driven network traffic
+per coding scheme and load point.
+
+Run:  python examples/terasort_simulation.py [runs]
+"""
+
+import sys
+
+from repro.experiments import render_table
+from repro.mapreduce import run_terasort, setup1, setup2
+
+HEADERS = ["code", "load %", "job time (s)", "locality %", "traffic (GB)"]
+
+
+def sweep(config, codes, loads, runs):
+    rows = []
+    for code in codes:
+        for load in loads:
+            stats = run_terasort(code, load, config, runs=runs)
+            rows.append(list(stats.as_row().values()))
+    return rows
+
+
+def main(runs: int = 8) -> None:
+    print("=== set-up 1: 25 nodes x 2 map slots, 128 MB blocks (Fig. 4) ===")
+    rows = sweep(setup1(), ("3-rep", "2-rep", "pentagon", "heptagon"),
+                 (50.0, 75.0, 100.0), runs)
+    print(render_table(HEADERS, rows))
+
+    print("\n=== set-up 2: 9 nodes x 4 map slots, 512 MB blocks (Fig. 5) ===")
+    rows = sweep(setup2(), ("3-rep", "2-rep", "pentagon"),
+                 (25.0, 50.0, 75.0, 100.0), runs)
+    print(render_table(HEADERS, rows))
+
+    print("\nreading the results against the paper's conclusions:")
+    print(" (i)  2-rep tracks 3-rep closely at moderate load;")
+    print(" (ii) locality ordering matches the Fig. 3 simulations;")
+    print(" (iii) each scheme's traffic is its non-local input bytes;")
+    print(" (iv) the pentagon pays dearly at 2 map slots but is nearly")
+    print("      indistinguishable from 2-rep at 4 map slots / 75% load.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

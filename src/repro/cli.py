@@ -1,0 +1,154 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig3 --mu 4 --trials 30
+    python -m repro fig4 --runs 10
+    python -m repro fig5
+    python -m repro repair
+    python -m repro ablations
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    ablations,
+    fig3,
+    fig4,
+    fig5,
+    render_figure,
+    render_table,
+    repair_bandwidth,
+    table1,
+)
+
+
+def _print_checks(checks: dict[str, bool]) -> None:
+    for name, ok in checks.items():
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+
+
+def run_table1(args: argparse.Namespace) -> None:
+    result = table1.build_table1()
+    print(render_table(table1.Table1Result.HEADERS, result.as_rows(),
+                       title="Table 1 (25-node system, calibrated)"))
+    mttf = result.params.node_mttf_hours / 8766.0
+    print(f"\ncalibrated node MTTF: {mttf:.1f} years "
+          f"(MTTR {result.params.node_mttr_hours:.0f} h)")
+    _print_checks(table1.shape_checks(result))
+
+
+def run_fig3(args: argparse.Namespace) -> None:
+    if args.mu:
+        panels = {f"mu={args.mu}": fig3.locality_panel(args.mu, trials=args.trials)}
+    else:
+        panels = fig3.full_figure(trials=args.trials)
+    for name, panel in panels.items():
+        print(f"\n=== Fig. 3 {name} ===")
+        print(render_figure(panel))
+
+
+def run_fig4(args: argparse.Namespace) -> None:
+    panels = fig4.figure4(runs=args.runs)
+    for name in ("job_time", "traffic", "locality"):
+        print(f"\n=== Fig. 4 {name} ===")
+        print(render_figure(panels[name]))
+    _print_checks(fig4.shape_checks(panels))
+
+
+def run_fig5(args: argparse.Namespace) -> None:
+    panels = fig5.figure5(runs=args.runs)
+    for name in ("traffic", "locality"):
+        print(f"\n=== Fig. 5 {name} ===")
+        print(render_figure(panels[name]))
+    _print_checks(fig5.shape_checks(panels))
+
+
+def run_repair(args: argparse.Namespace) -> None:
+    measurements = repair_bandwidth.measure_all()
+    print(render_table(repair_bandwidth.HEADERS,
+                       [m.as_list() for m in measurements],
+                       title="Repair / degraded-read bandwidth (blocks)"))
+    _print_checks(repair_bandwidth.shape_checks(measurements))
+
+
+def run_ablations(args: argparse.Namespace) -> None:
+    print(render_figure(ablations.delay_sensitivity(trials=args.trials)))
+    print()
+    print(render_figure(ablations.slots_crossover(trials=args.trials)))
+    print()
+    rows = ablations.degraded_job_sweep()
+    print(render_table(list(rows[0].keys()), [list(r.values()) for r in rows],
+                       title="Degraded MapReduce traffic"))
+    print()
+    for code in ("pentagon", "heptagon-local", "rs(14,10)"):
+        stats = ablations.encoding_throughput(code, block_bytes=1 << 18)
+        print(f"encode {code:14s} {stats['encode_mb_s']:8.0f} MB/s   "
+              f"decode {stats['decode_mb_s']:8.0f} MB/s")
+
+
+def run_all(args: argparse.Namespace) -> None:
+    run_table1(args)
+    run_fig3(args)
+    run_fig4(args)
+    run_fig5(args)
+    run_repair(args)
+    run_ablations(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="storage overhead / length / MTTDL")
+
+    p_fig3 = sub.add_parser("fig3", help="locality vs load panels")
+    p_fig3.add_argument("--mu", type=int, default=None,
+                        help="map slots per node (default: all panels)")
+    p_fig3.add_argument("--trials", type=int, default=30)
+
+    p_fig4 = sub.add_parser("fig4", help="Terasort on set-up 1")
+    p_fig4.add_argument("--runs", type=int, default=10)
+
+    p_fig5 = sub.add_parser("fig5", help="Terasort on set-up 2")
+    p_fig5.add_argument("--runs", type=int, default=10)
+
+    sub.add_parser("repair", help="repair-bandwidth measurements")
+
+    p_ablate = sub.add_parser("ablations", help="design-knob sweeps")
+    p_ablate.add_argument("--trials", type=int, default=20)
+
+    p_all = sub.add_parser("all", help="everything")
+    p_all.add_argument("--trials", type=int, default=20)
+    p_all.add_argument("--runs", type=int, default=8)
+    p_all.add_argument("--mu", type=int, default=None)
+    return parser
+
+
+HANDLERS = {
+    "table1": run_table1,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "repair": run_repair,
+    "ablations": run_ablations,
+    "all": run_all,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    HANDLERS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

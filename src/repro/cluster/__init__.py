@@ -1,0 +1,54 @@
+"""Mini-HDFS substrate: topology, placement, metadata, block storage,
+degraded reads, failure injection and byte-accounted repair.
+
+The cluster layer is what the paper built on Facebook's HDFS-RAID: it
+stores real encoded bytes, executes the codes' repair plans against
+live DataNodes, and charges every transfer to a network ledger so the
+Section 2.1/3.1 bandwidth numbers can be measured rather than asserted.
+"""
+
+from .datanode import BlockNotFoundError, DataNode
+from .failure import FailureEvent, FailureInjector, FailureKind
+from .filesystem import MiniHDFS
+from .namenode import BlockId, FileInfo, NameNode, StripeInfo
+from .network import NetworkLedger, TransferRecord
+from .placement import (
+    PlacementError,
+    PlacementPolicy,
+    RackAwarePlacement,
+    RandomSpreadPlacement,
+    RoundRobinPlacement,
+    make_placement,
+)
+from .plan_runtime import ClusterExecutionError, run_read_plan, run_repair_plan
+from .raidnode import RaidNode, RaidPolicy, RaidReport
+from .topology import ClusterTopology, NodeInfo
+
+__all__ = [
+    "ClusterTopology",
+    "NodeInfo",
+    "NetworkLedger",
+    "TransferRecord",
+    "NameNode",
+    "BlockId",
+    "FileInfo",
+    "StripeInfo",
+    "DataNode",
+    "BlockNotFoundError",
+    "PlacementPolicy",
+    "RandomSpreadPlacement",
+    "RoundRobinPlacement",
+    "RackAwarePlacement",
+    "PlacementError",
+    "make_placement",
+    "MiniHDFS",
+    "FailureInjector",
+    "FailureKind",
+    "FailureEvent",
+    "ClusterExecutionError",
+    "run_read_plan",
+    "run_repair_plan",
+    "RaidNode",
+    "RaidPolicy",
+    "RaidReport",
+]

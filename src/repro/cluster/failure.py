@@ -1,0 +1,74 @@
+"""Failure injection: scripted and random node failures.
+
+The paper distinguishes *transient* failures ("the norm in large-scale
+storage systems", no data loss, the node returns with its blocks) from
+*permanent* ones (disk contents gone, repair required).  The injector
+drives both against a :class:`~repro.cluster.filesystem.MiniHDFS`,
+either one-off or from a reproducible schedule, and keeps a journal for
+the experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .filesystem import MiniHDFS
+
+
+class FailureKind(enum.Enum):
+    TRANSIENT = "transient"
+    PERMANENT = "permanent"
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One journaled failure or recovery."""
+
+    node_id: int
+    kind: FailureKind
+    action: str          # "fail" | "restore" | "repair"
+
+
+@dataclass
+class FailureInjector:
+    """Failure driver bound to one filesystem."""
+
+    fs: MiniHDFS
+    journal: list[FailureEvent] = field(default_factory=list)
+
+    def fail(self, node_id: int, kind: FailureKind = FailureKind.TRANSIENT) -> None:
+        """Take a node down; permanent failures wipe its blocks."""
+        self.fs.fail_node(node_id, permanent=(kind is FailureKind.PERMANENT))
+        self.journal.append(FailureEvent(node_id, kind, "fail"))
+
+    def restore(self, node_id: int) -> None:
+        """Bring a transiently failed node back with its data intact."""
+        self.fs.restore_node(node_id)
+        self.journal.append(FailureEvent(node_id, FailureKind.TRANSIENT, "restore"))
+
+    def repair(self, node_id: int) -> int:
+        """Rebuild a failed node from surviving redundancy."""
+        moved = self.fs.repair_node(node_id)
+        self.journal.append(FailureEvent(node_id, FailureKind.PERMANENT, "repair"))
+        return moved
+
+    def fail_random(self, rng: np.random.Generator, count: int = 1,
+                    kind: FailureKind = FailureKind.TRANSIENT) -> list[int]:
+        """Fail ``count`` random alive nodes; returns their ids."""
+        alive = self.fs.topology.alive_nodes()
+        if count > len(alive):
+            raise ValueError(f"cannot fail {count} of {len(alive)} alive nodes")
+        picks = rng.choice(len(alive), size=count, replace=False)
+        victims = [alive[i] for i in picks]
+        for node_id in victims:
+            self.fail(node_id, kind)
+        return victims
+
+    def failed_nodes(self) -> list[int]:
+        return self.fs.topology.failed_nodes()
+
+    def events_for(self, node_id: int) -> list[FailureEvent]:
+        return [e for e in self.journal if e.node_id == node_id]

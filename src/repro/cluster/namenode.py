@@ -1,0 +1,139 @@
+"""NameNode: file, stripe and block-location metadata.
+
+Mirrors the role of HDFS's NameNode plus the stripe bookkeeping that
+Facebook's HDFS-RAID keeps in its RaidNode: which files exist, how each
+file is striped, which code each stripe uses, and on which physical
+node every replica of every coded symbol lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import Code
+
+
+@dataclass(frozen=True)
+class BlockId:
+    """Globally unique identifier of one coded symbol of one stripe."""
+
+    file_name: str
+    stripe_index: int
+    symbol_index: int
+
+    def __str__(self) -> str:
+        return f"{self.file_name}#{self.stripe_index}:{self.symbol_index}"
+
+
+@dataclass
+class StripeInfo:
+    """Placement record of one stripe.
+
+    ``slot_nodes[i]`` is the physical node bound to the code's node-slot
+    ``i``; symbol replica locations derive from the code layout.
+    """
+
+    file_name: str
+    stripe_index: int
+    code: Code
+    slot_nodes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.slot_nodes) != self.code.length:
+            raise ValueError(
+                f"stripe needs {self.code.length} nodes, got {len(self.slot_nodes)}"
+            )
+        if len(set(self.slot_nodes)) != len(self.slot_nodes):
+            raise ValueError("a stripe cannot place two slots on one node")
+
+    def block_id(self, symbol_index: int) -> BlockId:
+        return BlockId(self.file_name, self.stripe_index, symbol_index)
+
+    def replica_nodes(self, symbol_index: int) -> tuple[int, ...]:
+        """Physical nodes holding copies of the symbol."""
+        symbol = self.code.layout.symbols[symbol_index]
+        return tuple(self.slot_nodes[slot] for slot in symbol.replicas)
+
+    def slot_of_node(self, node_id: int) -> int | None:
+        """The stripe slot bound to ``node_id`` (None if not involved)."""
+        try:
+            return self.slot_nodes.index(node_id)
+        except ValueError:
+            return None
+
+    def failed_slots(self, failed_nodes: set[int]) -> set[int]:
+        """Stripe slots whose physical node is in ``failed_nodes``."""
+        return {
+            slot for slot, node in enumerate(self.slot_nodes)
+            if node in failed_nodes
+        }
+
+
+@dataclass
+class FileInfo:
+    """One stored file."""
+
+    name: str
+    code_name: str
+    size_bytes: int
+    block_bytes: int
+    stripes: list[StripeInfo] = field(default_factory=list)
+
+    @property
+    def data_block_count(self) -> int:
+        return sum(stripe.code.k for stripe in self.stripes)
+
+
+class NameNode:
+    """In-memory metadata service."""
+
+    def __init__(self):
+        self._files: dict[str, FileInfo] = {}
+
+    def create_file(self, info: FileInfo) -> None:
+        if info.name in self._files:
+            raise FileExistsError(f"file {info.name!r} already exists")
+        self._files[info.name] = info
+
+    def delete_file(self, name: str) -> FileInfo:
+        if name not in self._files:
+            raise FileNotFoundError(name)
+        return self._files.pop(name)
+
+    def file(self, name: str) -> FileInfo:
+        if name not in self._files:
+            raise FileNotFoundError(name)
+        return self._files[name]
+
+    def files(self) -> list[str]:
+        return sorted(self._files)
+
+    def stripes(self) -> list[StripeInfo]:
+        """Every stripe in the namespace."""
+        return [s for info in self._files.values() for s in info.stripes]
+
+    def stripes_on_node(self, node_id: int) -> list[StripeInfo]:
+        """Stripes with at least one slot bound to ``node_id``."""
+        return [
+            stripe for stripe in self.stripes()
+            if stripe.slot_of_node(node_id) is not None
+        ]
+
+    def blocks_on_node(self, node_id: int) -> list[BlockId]:
+        """Every block replica resident on ``node_id``."""
+        found: list[BlockId] = []
+        for stripe in self.stripes():
+            slot = stripe.slot_of_node(node_id)
+            if slot is None:
+                continue
+            for symbol_index in stripe.code.layout.symbols_on_slot(slot):
+                found.append(stripe.block_id(symbol_index))
+        return found
+
+    def replica_nodes(self, block: BlockId) -> tuple[int, ...]:
+        stripe = self.file(block.file_name).stripes[block.stripe_index]
+        return stripe.replica_nodes(block.symbol_index)
+
+    def total_stored_blocks(self) -> int:
+        """Physical blocks across the namespace (replicas included)."""
+        return sum(stripe.code.total_blocks for stripe in self.stripes())

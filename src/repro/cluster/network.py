@@ -1,0 +1,67 @@
+"""Network byte ledger: who moved how many bytes, and why.
+
+Every byte the mini-HDFS moves — writes, reads, degraded reads, repair
+traffic — is charged here, tagged with a purpose, so experiments can
+report exactly the quantities the paper does (repair bandwidth in
+blocks, job network traffic in GB) without instrumenting call sites
+twice.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One logged transfer."""
+
+    source: int | None        # None = synthesized at destination
+    dest: int | None          # None = off-cluster client
+    byte_count: int
+    purpose: str
+    cross_rack: bool = False
+
+
+@dataclass
+class NetworkLedger:
+    """Accumulates transfer records with per-purpose totals."""
+
+    records: list[TransferRecord] = field(default_factory=list)
+    _by_purpose: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def charge(self, source: int | None, dest: int | None, byte_count: int,
+               purpose: str, cross_rack: bool = False) -> None:
+        """Record ``byte_count`` bytes moved for ``purpose``.
+
+        Transfers where source and destination are the same live node
+        are local and cost nothing on the network.
+        """
+        if byte_count < 0:
+            raise ValueError("cannot move a negative number of bytes")
+        if source is not None and source == dest:
+            return
+        self.records.append(TransferRecord(source, dest, byte_count,
+                                           purpose, cross_rack))
+        self._by_purpose[purpose] += byte_count
+
+    def total_bytes(self, purpose: str | None = None) -> int:
+        if purpose is None:
+            return sum(self._by_purpose.values())
+        return self._by_purpose.get(purpose, 0)
+
+    def cross_rack_bytes(self) -> int:
+        return sum(r.byte_count for r in self.records if r.cross_rack)
+
+    def purposes(self) -> dict[str, int]:
+        return dict(self._by_purpose)
+
+    def transfer_count(self, purpose: str | None = None) -> int:
+        if purpose is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r.purpose == purpose)
+
+    def reset(self) -> None:
+        self.records.clear()
+        self._by_purpose.clear()

@@ -1,0 +1,157 @@
+"""Placement policies: binding stripe slots to physical nodes.
+
+The code layout fixes which *slots* hold which symbols; a placement
+policy picks which physical nodes play those slots:
+
+* :class:`RandomSpreadPlacement` — uniform distinct nodes per stripe,
+  the behaviour of both of the paper's flat single-rack test beds;
+* :class:`RoundRobinPlacement` — deterministic rotation, useful for
+  reproducible examples and capacity balancing;
+* :class:`RackAwarePlacement` — maps a code's failure domains to racks,
+  implementing the paper's note that "in a rack-aware HDFS
+  implementation, the two heptagons and the global parity node would be
+  placed in three different racks".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..core import Code
+from ..core.polygon_local import PolygonLocalCode
+from .topology import ClusterTopology
+
+
+class PlacementError(RuntimeError):
+    """Raised when a stripe cannot be placed on the available nodes."""
+
+
+class PlacementPolicy(ABC):
+    """Strategy choosing the physical nodes for each new stripe."""
+
+    @abstractmethod
+    def place_stripe(self, code: Code, topology: ClusterTopology,
+                     rng: np.random.Generator) -> tuple[int, ...]:
+        """Return one alive node per stripe slot."""
+
+
+class RandomSpreadPlacement(PlacementPolicy):
+    """Uniformly random distinct alive nodes (the paper's flat set-ups)."""
+
+    def place_stripe(self, code: Code, topology: ClusterTopology,
+                     rng: np.random.Generator) -> tuple[int, ...]:
+        alive = topology.alive_nodes()
+        if len(alive) < code.length:
+            raise PlacementError(
+                f"{code.name} needs {code.length} nodes; only {len(alive)} alive"
+            )
+        chosen = rng.choice(len(alive), size=code.length, replace=False)
+        return tuple(alive[i] for i in chosen)
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Deterministic rotation over alive nodes."""
+
+    def __init__(self):
+        self._cursor = 0
+
+    def place_stripe(self, code: Code, topology: ClusterTopology,
+                     rng: np.random.Generator) -> tuple[int, ...]:
+        alive = topology.alive_nodes()
+        if len(alive) < code.length:
+            raise PlacementError(
+                f"{code.name} needs {code.length} nodes; only {len(alive)} alive"
+            )
+        chosen = tuple(
+            alive[(self._cursor + offset) % len(alive)]
+            for offset in range(code.length)
+        )
+        self._cursor = (self._cursor + code.length) % len(alive)
+        return chosen
+
+
+class RackAwarePlacement(PlacementPolicy):
+    """Place each failure domain of the code in its own rack.
+
+    For the heptagon-local code the domains are heptagon A, heptagon B
+    and the global-parity node; each is placed inside a distinct rack so
+    a rack loss hits at most one domain.  Codes without declared domains
+    fall back to spreading slots across racks round-robin.
+    """
+
+    def place_stripe(self, code: Code, topology: ClusterTopology,
+                     rng: np.random.Generator) -> tuple[int, ...]:
+        rack_count = topology.rack_count()
+        if isinstance(code, PolygonLocalCode):
+            groups = code.local_group_slots()
+            if rack_count < len(groups):
+                raise PlacementError(
+                    f"rack-aware heptagon-local needs {len(groups)} racks; "
+                    f"cluster has {rack_count}"
+                )
+            alive_by_rack = {
+                rack: [n for n in topology.rack_members(rack)
+                       if topology.is_alive(n)]
+                for rack in range(rack_count)
+            }
+            # Capacity-aware matching: biggest domain to biggest rack, so
+            # a [7, 7, 3] cluster sends the heptagons to the 7-node racks
+            # and the global node to the small one.  Ties break randomly.
+            domains = sorted(groups.items(), key=lambda item: -len(item[1]))
+            rack_order = sorted(
+                alive_by_rack, key=lambda rack: (-len(alive_by_rack[rack]),
+                                                 rng.random()))
+            assignment: dict[int, int] = {}
+            for (group, slots), rack in zip(domains, rack_order):
+                members = alive_by_rack[rack]
+                if len(members) < len(slots):
+                    raise PlacementError(
+                        f"rack {rack} has {len(members)} alive nodes; "
+                        f"domain {group} needs {len(slots)}"
+                    )
+                picks = rng.choice(len(members), size=len(slots), replace=False)
+                for slot, pick in zip(slots, picks):
+                    assignment[slot] = members[pick]
+            return tuple(assignment[slot] for slot in range(code.length))
+        # Generic fallback: deal slots across racks like cards.
+        per_rack = {
+            rack: [n for n in topology.rack_members(rack) if topology.is_alive(n)]
+            for rack in range(rack_count)
+        }
+        for members in per_rack.values():
+            rng.shuffle(members)
+        chosen: list[int] = []
+        rack_order = list(per_rack)
+        rng.shuffle(rack_order)
+        cursor = 0
+        while len(chosen) < code.length:
+            progressed = False
+            for rack in rack_order:
+                if per_rack[rack]:
+                    chosen.append(per_rack[rack].pop())
+                    progressed = True
+                    if len(chosen) == code.length:
+                        break
+            cursor += 1
+            if not progressed:
+                raise PlacementError(
+                    f"{code.name} needs {code.length} nodes; cluster exhausted"
+                )
+        return tuple(chosen)
+
+
+def make_placement(name: str) -> PlacementPolicy:
+    """Factory: 'random', 'round-robin' or 'rack-aware'."""
+    policies = {
+        "random": RandomSpreadPlacement,
+        "round-robin": RoundRobinPlacement,
+        "rack-aware": RackAwarePlacement,
+    }
+    try:
+        return policies[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown placement {name!r}; known: {', '.join(policies)}"
+        ) from None

@@ -1,0 +1,131 @@
+"""Execute repair/read plans against live cluster state.
+
+The byte-level twin of :mod:`repro.core.executor`: where that module
+runs plans against an in-memory list of stripe symbols (for unit
+testing), this one runs them against real DataNode contents, charging
+every transfer to the network ledger.  Sources must be alive and must
+actually hold the symbols a plan asks them to read — a plan that
+cheats fails loudly here, exactly as in the unit executor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.repair import ReadPlan, RepairPlan, TransferKind
+from ..gf import GF256
+from .datanode import DataNode
+from .namenode import StripeInfo
+from .network import NetworkLedger
+from .topology import ClusterTopology
+
+
+class ClusterExecutionError(RuntimeError):
+    """A plan referenced failed nodes or missing blocks."""
+
+
+def _transfer_payload(stripe: StripeInfo, transfer, datanodes: list[DataNode],
+                      topology: ClusterTopology,
+                      produced: dict[int, np.ndarray]) -> np.ndarray:
+    """Materialise the payload a transfer's source puts on the wire."""
+    if transfer.kind is TransferKind.DECODED:
+        symbol = transfer.symbols_read[0]
+        if symbol not in produced:
+            raise ClusterExecutionError(
+                f"plan forwards symbol {symbol} before it was decoded"
+            )
+        return produced[symbol].copy()
+    node_id = stripe.slot_nodes[transfer.source_slot]
+    if not topology.is_alive(node_id):
+        raise ClusterExecutionError(
+            f"plan reads from failed node {node_id}"
+        )
+    store = datanodes[node_id]
+    payload: np.ndarray | None = None
+    for symbol, coefficient in zip(transfer.symbols_read, transfer.coefficients):
+        data = store.get(stripe.block_id(symbol))
+        contribution = GF256.scale(data, coefficient)
+        payload = contribution if payload is None else GF256.add(payload, contribution)
+    if payload is None:
+        raise ClusterExecutionError("transfer reads no symbols")
+    return payload
+
+
+def run_repair_plan(stripe: StripeInfo, plan: RepairPlan,
+                    datanodes: list[DataNode], topology: ClusterTopology,
+                    ledger: NetworkLedger, replacements: dict[int, int],
+                    purpose: str = "repair") -> dict[int, np.ndarray]:
+    """Execute a repair plan; returns ``symbol -> recovered bytes``.
+
+    ``replacements`` maps each failed stripe *slot* to the physical node
+    that will host the rebuilt blocks (often the restored node itself).
+    Every transfer is charged to ``ledger`` under ``purpose``.
+    """
+    payloads: list[np.ndarray] = []
+    produced: dict[int, np.ndarray] = {}
+    recovered: dict[int, np.ndarray] = {}
+
+    def dest_node(slot: int) -> int:
+        if slot in replacements:
+            return replacements[slot]
+        return stripe.slot_nodes[slot]
+
+    for transfer in plan.transfers:
+        payload = _transfer_payload(stripe, transfer, datanodes, topology, produced)
+        if transfer.kind is TransferKind.DECODED:
+            source_node = (dest_node(transfer.source_slot)
+                           if transfer.source_slot is not None else None)
+        else:
+            source_node = stripe.slot_nodes[transfer.source_slot]
+        target = dest_node(transfer.dest_slot)
+        ledger.charge(source_node, target, len(payload), purpose,
+                      cross_rack=(source_node is not None
+                                  and topology.cross_rack(source_node, target)))
+        payloads.append(payload)
+        if transfer.delivers_symbol is not None:
+            recovered[transfer.delivers_symbol] = payload
+        for step in plan.decode_steps:
+            if step.produces_symbol in produced:
+                continue
+            if max(step.payload_indices, default=-1) < len(payloads):
+                value = np.zeros_like(payloads[0])
+                for index, coefficient in zip(step.payload_indices, step.coefficients):
+                    GF256.axpy(value, coefficient, payloads[index])
+                produced[step.produces_symbol] = value
+                recovered[step.produces_symbol] = value
+    for step in plan.decode_steps:
+        if step.produces_symbol not in produced:
+            raise ClusterExecutionError(
+                f"decode step for symbol {step.produces_symbol} starved"
+            )
+    return recovered
+
+
+def run_read_plan(stripe: StripeInfo, plan: ReadPlan,
+                  datanodes: list[DataNode], topology: ClusterTopology,
+                  ledger: NetworkLedger, reader_node: int | None,
+                  purpose: str = "read") -> np.ndarray:
+    """Execute a read plan; returns the requested symbol's bytes."""
+    if not plan.transfers:
+        node_id = stripe.slot_nodes[plan.reader_slot]
+        if not topology.is_alive(node_id):
+            raise ClusterExecutionError("local read from a failed node")
+        return datanodes[node_id].get(stripe.block_id(plan.symbol)).copy()
+    payloads: list[np.ndarray] = []
+    for transfer in plan.transfers:
+        payload = _transfer_payload(stripe, transfer, datanodes, topology, {})
+        source_node = stripe.slot_nodes[transfer.source_slot]
+        cross = (reader_node is not None
+                 and topology.cross_rack(source_node, reader_node))
+        ledger.charge(source_node, reader_node, len(payload), purpose,
+                      cross_rack=cross)
+        payloads.append(payload)
+        if transfer.delivers_symbol == plan.symbol:
+            return payload
+    for step in plan.decode_steps:
+        if step.produces_symbol == plan.symbol:
+            value = np.zeros_like(payloads[0])
+            for index, coefficient in zip(step.payload_indices, step.coefficients):
+                GF256.axpy(value, coefficient, payloads[index])
+            return value
+    raise ClusterExecutionError("read plan never produced the requested symbol")

@@ -1,0 +1,82 @@
+"""Physical cluster topology: nodes, racks and liveness.
+
+A minimal model of the paper's test beds: a set of storage nodes,
+optionally grouped into racks (the heptagon-local code wants its two
+heptagons and global-parity node in three different racks), each node
+either alive or failed.  The master (NameNode/JobTracker/RaidNode in
+the paper's set-ups) is implicit — metadata lives in
+:class:`~repro.cluster.namenode.NameNode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NodeInfo:
+    """One storage node."""
+
+    node_id: int
+    rack: int = 0
+    alive: bool = True
+
+
+@dataclass
+class ClusterTopology:
+    """Nodes with rack placement and liveness tracking."""
+
+    nodes: list[NodeInfo] = field(default_factory=list)
+
+    @classmethod
+    def flat(cls, node_count: int) -> "ClusterTopology":
+        """Single-rack cluster, as in both of the paper's set-ups."""
+        return cls(nodes=[NodeInfo(node_id=i) for i in range(node_count)])
+
+    @classmethod
+    def racked(cls, rack_sizes: list[int]) -> "ClusterTopology":
+        """Cluster with the given number of nodes per rack."""
+        nodes: list[NodeInfo] = []
+        for rack, size in enumerate(rack_sizes):
+            for _ in range(size):
+                nodes.append(NodeInfo(node_id=len(nodes), rack=rack))
+        return cls(nodes=nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> NodeInfo:
+        if not 0 <= node_id < len(self.nodes):
+            raise KeyError(f"no node {node_id}")
+        return self.nodes[node_id]
+
+    def rack_of(self, node_id: int) -> int:
+        return self.node(node_id).rack
+
+    def rack_members(self, rack: int) -> list[int]:
+        return [n.node_id for n in self.nodes if n.rack == rack]
+
+    def rack_count(self) -> int:
+        return len({n.rack for n in self.nodes}) if self.nodes else 0
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def alive_nodes(self) -> list[int]:
+        return [n.node_id for n in self.nodes if n.alive]
+
+    def failed_nodes(self) -> list[int]:
+        return [n.node_id for n in self.nodes if not n.alive]
+
+    def is_alive(self, node_id: int) -> bool:
+        return self.node(node_id).alive
+
+    def fail(self, node_id: int) -> None:
+        self.node(node_id).alive = False
+
+    def restore(self, node_id: int) -> None:
+        self.node(node_id).alive = True
+
+    def cross_rack(self, source: int, dest: int) -> bool:
+        """True when a transfer between the nodes crosses racks."""
+        return self.rack_of(source) != self.rack_of(dest)

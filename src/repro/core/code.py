@@ -1,0 +1,334 @@
+"""Abstract base class shared by every coding scheme.
+
+A concrete :class:`Code` supplies a :class:`~repro.core.layout.StripeLayout`
+(the static symbol/replica map) and may override the repair planners with
+structured, bandwidth-efficient strategies.  Everything else — encoding,
+generic rank-based decodability, decoding via GF(2^8) linear solve,
+fault-tolerance enumeration, and a correct (if not bandwidth-optimal)
+fallback repair plan — is provided here once, for all codes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from functools import cached_property
+
+import numpy as np
+
+from ..gf import GF256, SingularMatrixError, independent_rows, invert, matrix_rank, solve
+from .layout import StripeLayout, SymbolKind
+from .repair import (
+    DecodeStep,
+    ReadPlan,
+    RepairPlan,
+    Transfer,
+    TransferKind,
+    UnrecoverableStripeError,
+)
+
+
+class Code(ABC):
+    """A stripe-structured storage code.
+
+    Subclasses must implement :meth:`build_layout` and should override
+    :meth:`plan_node_repair` / :meth:`plan_degraded_read` when the code
+    admits cheaper repairs than the generic decode-everything fallback.
+    """
+
+    #: Registry name; subclasses set a descriptive default.
+    name: str = "code"
+
+    # ------------------------------------------------------------------
+    # Layout and static metrics
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build_layout(self) -> StripeLayout:
+        """Construct the stripe layout (called once, then cached)."""
+
+    @cached_property
+    def layout(self) -> StripeLayout:
+        return self.build_layout()
+
+    @property
+    def k(self) -> int:
+        """Data symbols per stripe."""
+        return self.layout.k
+
+    @property
+    def length(self) -> int:
+        """Distinct node-slots a stripe touches (the paper's code length)."""
+        return self.layout.length
+
+    @property
+    def symbol_count(self) -> int:
+        return self.layout.symbol_count
+
+    @property
+    def total_blocks(self) -> int:
+        return self.layout.total_blocks
+
+    @property
+    def storage_overhead(self) -> float:
+        return self.layout.storage_overhead
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} {self.name}: k={self.k}, "
+            f"length={self.length}, overhead={self.storage_overhead:.2f}x>"
+        )
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding
+    # ------------------------------------------------------------------
+    def encode(self, data_blocks) -> list[np.ndarray]:
+        """Encode ``k`` data buffers into one buffer per distinct symbol.
+
+        All buffers must share one length.  Data symbols are returned as
+        copies so callers may mutate them independently.
+        """
+        buffers = [GF256.asarray(block) for block in data_blocks]
+        if len(buffers) != self.k:
+            raise ValueError(f"{self.name}: expected {self.k} data blocks, got {len(buffers)}")
+        block_size = len(buffers[0])
+        if any(len(buffer) != block_size for buffer in buffers):
+            raise ValueError("all data blocks must have the same size")
+        encoded: list[np.ndarray] = []
+        for symbol in self.layout.symbols:
+            if symbol.kind is SymbolKind.DATA:
+                data_index = int(np.argmax(np.asarray(symbol.coefficients) != 0))
+                encoded.append(buffers[data_index].copy())
+            else:
+                encoded.append(GF256.combine(symbol.coefficients, buffers, length=block_size))
+        return encoded
+
+    def decode_data(self, available: dict[int, np.ndarray]) -> list[np.ndarray]:
+        """Recover the ``k`` data buffers from surviving symbol buffers.
+
+        ``available`` maps symbol index -> buffer.  Raises
+        :class:`~repro.gf.SingularMatrixError` when the surviving symbols
+        do not determine the data.
+
+        The solve happens on the small coefficient matrix only: pick
+        ``k`` independent rows (data symbols first, so the inverse stays
+        sparse for systematic codes), invert the k x k system, then
+        apply the weights to the block buffers with fused table-lookup
+        XORs.  Eliminating over the megabyte-wide buffers directly would
+        be an order of magnitude slower.
+        """
+        if not available:
+            raise SingularMatrixError("no symbols available")
+        indices = sorted(available)
+        generator = self.layout.generator_matrix()
+        basis_positions = independent_rows(generator[indices], limit=self.k)
+        if len(basis_positions) < self.k:
+            raise SingularMatrixError(
+                f"{self.name}: surviving symbols do not span the data space"
+            )
+        chosen = [indices[p] for p in basis_positions]
+        weights = invert(generator[chosen])          # data = weights @ symbols
+        buffers = [GF256.asarray(available[i]) for i in chosen]
+        block_size = len(buffers[0])
+        return [
+            GF256.combine((int(c) for c in weights[row]), buffers,
+                          length=block_size)
+            for row in range(self.k)
+        ]
+
+    def decode_symbol(self, symbol_index: int, available: dict[int, np.ndarray]) -> np.ndarray:
+        """Reconstruct one coded symbol from surviving symbol buffers."""
+        data = self.decode_data(available)
+        coefficients = self.layout.symbols[symbol_index].coefficients
+        return GF256.combine(coefficients, data, length=len(data[0]))
+
+    # ------------------------------------------------------------------
+    # Failure analysis
+    # ------------------------------------------------------------------
+    def can_decode_from_symbols(self, symbol_indices) -> bool:
+        """True when the listed symbols determine all data symbols."""
+        indices = sorted(set(symbol_indices))
+        if len(indices) < self.k:
+            return False
+        matrix = self.layout.generator_matrix()[indices]
+        return matrix_rank(matrix) == self.k
+
+    def can_recover(self, failed_slots) -> bool:
+        """True when the data survives failure of every listed slot."""
+        failed = set(failed_slots)
+        if not failed:
+            return True
+        return self.can_decode_from_symbols(self.layout.surviving_symbols(failed))
+
+    @cached_property
+    def fault_tolerance(self) -> int:
+        """Largest ``f`` such that *every* ``f``-slot failure is recoverable."""
+        tolerance = 0
+        for size in range(1, self.length + 1):
+            if all(
+                self.can_recover(subset)
+                for subset in itertools.combinations(range(self.length), size)
+            ):
+                tolerance = size
+            else:
+                break
+        return tolerance
+
+    def fatal_patterns(self, size: int) -> list[frozenset[int]]:
+        """All ``size``-slot failure patterns that lose data."""
+        return [
+            frozenset(subset)
+            for subset in itertools.combinations(range(self.length), size)
+            if not self.can_recover(subset)
+        ]
+
+    def fatal_pattern_fraction(self, size: int) -> float:
+        """Fraction of ``size``-slot failure patterns that lose data."""
+        total = len(list(itertools.combinations(range(self.length), size)))
+        if total == 0:
+            return 0.0
+        return len(self.fatal_patterns(size)) / total
+
+    # ------------------------------------------------------------------
+    # Repair planning (generic fallbacks; subclasses override)
+    # ------------------------------------------------------------------
+    def plan_node_repair(self, failed_slots) -> RepairPlan:
+        """Generic repair: copy singly-lost symbols, decode the rest.
+
+        The fallback reads ``k`` independent surviving symbols to one
+        replacement node, solves for fully-lost symbols there, then
+        re-mirrors.  Structured codes override this with their cheaper
+        repair-by-transfer / partial-parity plans.
+        """
+        failed = tuple(sorted(set(failed_slots)))
+        if not failed:
+            return RepairPlan(self.name, (), (), (), {})
+        if not self.can_recover(failed):
+            raise UnrecoverableStripeError(self.name, failed, self.layout.lost_symbols(failed))
+        layout = self.layout
+        transfers: list[Transfer] = []
+        decode_steps: list[DecodeStep] = []
+        restored: dict[int, tuple[int, ...]] = {}
+        fully_lost = set(layout.lost_symbols(failed))
+
+        for slot in failed:
+            restored[slot] = layout.symbols_on_slot(slot)
+            for symbol_index in layout.symbols_on_slot(slot):
+                if symbol_index in fully_lost:
+                    continue
+                source = layout.replicas_alive(symbol_index, set(failed))[0]
+                transfers.append(Transfer(
+                    kind=TransferKind.COPY,
+                    source_slot=source,
+                    dest_slot=slot,
+                    symbols_read=(symbol_index,),
+                    coefficients=(1,),
+                    delivers_symbol=symbol_index,
+                    note=f"re-mirror {layout.symbols[symbol_index].label or symbol_index}",
+                ))
+
+        if fully_lost:
+            sink = failed[0]
+            basis = self._independent_surviving_symbols(set(failed))
+            payload_base = len(transfers)
+            for symbol_index in basis:
+                source = layout.replicas_alive(symbol_index, set(failed))[0]
+                transfers.append(Transfer(
+                    kind=TransferKind.COPY,
+                    source_slot=source,
+                    dest_slot=sink,
+                    symbols_read=(symbol_index,),
+                    coefficients=(1,),
+                    delivers_symbol=None,
+                    note="decode input",
+                ))
+            payload_indices = tuple(range(payload_base, payload_base + len(basis)))
+            decode_matrix = self._decode_weights(basis, sorted(fully_lost))
+            for row, symbol_index in enumerate(sorted(fully_lost)):
+                decode_steps.append(DecodeStep(
+                    at_slot=sink,
+                    produces_symbol=symbol_index,
+                    payload_indices=payload_indices,
+                    coefficients=tuple(int(c) for c in decode_matrix[row]),
+                    note=f"solve {layout.symbols[symbol_index].label or symbol_index}",
+                ))
+                # Forward the reconstructed symbol to its other replicas.
+                for slot in layout.symbols[symbol_index].replicas:
+                    if slot != sink and slot in failed:
+                        transfers.append(Transfer(
+                            kind=TransferKind.DECODED,
+                            source_slot=sink,
+                            dest_slot=slot,
+                            symbols_read=(symbol_index,),
+                            coefficients=(1,),
+                            delivers_symbol=symbol_index,
+                            note="forward decoded symbol",
+                        ))
+        return RepairPlan(self.name, failed, tuple(transfers), tuple(decode_steps), restored)
+
+    def plan_degraded_read(self, symbol_index: int, failed_slots,
+                           reader_slot: int | None = None) -> ReadPlan:
+        """Plan a read of one symbol under the given slot failures.
+
+        Returns a zero-transfer plan when the reader holds a live
+        replica, a one-copy plan when any replica survives, and a
+        reconstruction plan otherwise.
+        """
+        failed = set(failed_slots)
+        layout = self.layout
+        alive = layout.replicas_alive(symbol_index, failed)
+        label = layout.symbols[symbol_index].label or str(symbol_index)
+        if reader_slot is not None and reader_slot in alive:
+            return ReadPlan(self.name, symbol_index, reader_slot, (), note=f"local read of {label}")
+        dest = reader_slot if reader_slot is not None else -1
+        if alive:
+            transfer = Transfer(
+                kind=TransferKind.COPY, source_slot=alive[0], dest_slot=dest,
+                symbols_read=(symbol_index,), coefficients=(1,),
+                delivers_symbol=symbol_index, note=f"remote read of {label}",
+            )
+            return ReadPlan(self.name, symbol_index, reader_slot, (transfer,))
+        surviving = layout.surviving_symbols(failed)
+        if not self.can_decode_from_symbols(surviving):
+            raise UnrecoverableStripeError(self.name, failed, (symbol_index,))
+        basis = self._independent_surviving_symbols(failed)
+        transfers = []
+        for basis_symbol in basis:
+            source = layout.replicas_alive(basis_symbol, failed)[0]
+            transfers.append(Transfer(
+                kind=TransferKind.COPY, source_slot=source, dest_slot=dest,
+                symbols_read=(basis_symbol,), coefficients=(1,),
+                delivers_symbol=None, note="decode input",
+            ))
+        weights = self._decode_weights(basis, [symbol_index])
+        step = DecodeStep(
+            at_slot=dest, produces_symbol=symbol_index,
+            payload_indices=tuple(range(len(basis))),
+            coefficients=tuple(int(c) for c in weights[0]),
+            note=f"reconstruct {label}",
+        )
+        return ReadPlan(self.name, symbol_index, reader_slot, tuple(transfers), (step,),
+                        note=f"degraded read of {label}")
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _independent_surviving_symbols(self, failed: set[int]) -> list[int]:
+        """A minimal set of surviving symbols spanning the data space."""
+        surviving = self.layout.surviving_symbols(failed)
+        generator = self.layout.generator_matrix()
+        positions = independent_rows(generator[list(surviving)], limit=self.k)
+        if len(positions) < self.k:
+            raise UnrecoverableStripeError(self.name, failed)
+        return [surviving[p] for p in positions]
+
+    def _decode_weights(self, basis: list[int], targets: list[int]) -> np.ndarray:
+        """Rows expressing each target symbol as a combination of basis symbols.
+
+        Solving ``G_basis^T w = G_target^T`` yields, for every target, the
+        weight vector ``w`` with ``target = sum_i w_i * basis_i``.
+        """
+        generator = self.layout.generator_matrix()
+        basis_matrix = generator[basis]          # (b, k)
+        target_matrix = generator[targets]       # (t, k)
+        weights = solve(basis_matrix.T, target_matrix.T)   # (b, t)
+        return weights.T

@@ -1,0 +1,127 @@
+"""Execute repair/read plans against in-memory stripe contents.
+
+The executor is the single arbiter of what a plan *means*: sources may
+only read symbols they actually hold and that have not failed, every
+transfer moves exactly one block, and decode steps may only combine
+payloads already delivered.  Both the test-suite and the cluster's
+:class:`~repro.cluster.repair_manager.RepairManager` run plans through
+this module, so a plan proven correct here is correct in the cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gf import GF256
+from .code import Code
+from .repair import ReadPlan, RepairPlan, TransferKind
+
+
+class PlanExecutionError(RuntimeError):
+    """Raised when a plan references unavailable blocks or slots."""
+
+
+def _source_payload(code: Code, blocks: list[np.ndarray], transfer,
+                    failed: set[int], produced: dict[int, np.ndarray]) -> np.ndarray:
+    """Compute the payload a transfer's source would put on the wire."""
+    layout = code.layout
+    if transfer.kind is TransferKind.DECODED:
+        symbol = transfer.symbols_read[0]
+        if symbol not in produced:
+            raise PlanExecutionError(
+                f"transfer forwards symbol {symbol} before any decode step produced it"
+            )
+        return produced[symbol].copy()
+    if transfer.source_slot is None or transfer.source_slot in failed:
+        raise PlanExecutionError(
+            f"transfer sources from failed or undefined slot {transfer.source_slot}"
+        )
+    held = set(layout.symbols_on_slot(transfer.source_slot))
+    payload: np.ndarray | None = None
+    for symbol, coefficient in zip(transfer.symbols_read, transfer.coefficients):
+        if symbol not in held:
+            raise PlanExecutionError(
+                f"slot {transfer.source_slot} does not hold symbol {symbol}"
+            )
+        contribution = GF256.scale(blocks[symbol], coefficient)
+        payload = contribution if payload is None else GF256.add(payload, contribution)
+    if payload is None:
+        raise PlanExecutionError("transfer reads no symbols")
+    return payload
+
+
+def execute_repair_plan(code: Code, blocks: list[np.ndarray],
+                        plan: RepairPlan) -> dict[int, np.ndarray]:
+    """Run ``plan`` against the stripe's original symbol buffers.
+
+    ``blocks`` holds the pre-failure content of every distinct symbol
+    (index-aligned with the layout).  Returns ``symbol index -> recovered
+    buffer`` for every symbol the plan restores, raising
+    :class:`PlanExecutionError` if the plan cheats (reads failed slots,
+    references missing payloads, ...).
+    """
+    failed = set(plan.failed_slots)
+    payloads: list[np.ndarray] = []
+    produced: dict[int, np.ndarray] = {}
+    recovered: dict[int, np.ndarray] = {}
+
+    for transfer in plan.transfers:
+        payload = _source_payload(code, blocks, transfer, failed, produced)
+        payloads.append(payload)
+        if transfer.delivers_symbol is not None:
+            recovered[transfer.delivers_symbol] = payload
+        # Decode steps are interleaved by payload availability below.
+        for step in plan.decode_steps:
+            if step.produces_symbol in produced:
+                continue
+            if max(step.payload_indices, default=-1) < len(payloads):
+                value = np.zeros_like(payloads[0])
+                for index, coefficient in zip(step.payload_indices, step.coefficients):
+                    GF256.axpy(value, coefficient, payloads[index])
+                produced[step.produces_symbol] = value
+                recovered[step.produces_symbol] = value
+    for step in plan.decode_steps:
+        if step.produces_symbol not in produced:
+            raise PlanExecutionError(
+                f"decode step for symbol {step.produces_symbol} never received its payloads"
+            )
+    return recovered
+
+
+def verify_repair_plan(code: Code, blocks: list[np.ndarray], plan: RepairPlan) -> bool:
+    """True when the plan restores every symbol of every failed slot, bit-exactly."""
+    recovered = execute_repair_plan(code, blocks, plan)
+    failed = set(plan.failed_slots)
+    for slot in failed:
+        for symbol in code.layout.symbols_on_slot(slot):
+            if symbol not in recovered:
+                return False
+            if not np.array_equal(recovered[symbol], GF256.asarray(blocks[symbol])):
+                return False
+    return True
+
+
+def execute_read_plan(code: Code, blocks: list[np.ndarray], plan: ReadPlan,
+                      failed_slots) -> np.ndarray:
+    """Run a read plan and return the bytes the reader receives."""
+    failed = set(failed_slots)
+    layout = code.layout
+    if not plan.transfers:
+        # Local read: reader holds a live replica.
+        if plan.reader_slot is None or plan.reader_slot in failed:
+            raise PlanExecutionError("local read from failed or undefined reader slot")
+        if plan.symbol not in layout.symbols_on_slot(plan.reader_slot):
+            raise PlanExecutionError("local read of a symbol the reader does not hold")
+        return GF256.asarray(blocks[plan.symbol]).copy()
+    payloads: list[np.ndarray] = []
+    for transfer in plan.transfers:
+        payloads.append(_source_payload(code, blocks, transfer, failed, {}))
+        if transfer.delivers_symbol == plan.symbol:
+            return payloads[-1]
+    for step in plan.decode_steps:
+        if step.produces_symbol == plan.symbol:
+            value = np.zeros_like(payloads[0])
+            for index, coefficient in zip(step.payload_indices, step.coefficients):
+                GF256.axpy(value, coefficient, payloads[index])
+            return value
+    raise PlanExecutionError("read plan never produced the requested symbol")

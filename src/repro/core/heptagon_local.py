@@ -1,0 +1,65 @@
+"""The heptagon-local code: two local heptagons plus a global-parity node.
+
+This is the paper's instance of a *locally regenerating* code [8]:
+
+* 40 data symbols are split into two sets of 20, each encoded by a
+  heptagon code (:class:`~repro.core.polygon.PolygonCode` with n = 7) on
+  its own set of 7 node-slots;
+* two *global parity* symbols — GF(2^8) Vandermonde combinations of all
+  40 data symbols — are stored, unreplicated, on a 15th node-slot;
+* in a rack-aware deployment the three groups (heptagon A, heptagon B,
+  global node) map to three racks.
+
+Storage: 2 x 42 + 2 = 86 blocks for 40 data blocks = 2.15x overhead over
+15 nodes, the Table 1 row.  Any pattern of three node failures is
+recoverable: one or two failures inside a heptagon repair *locally*
+(repair-by-transfer / partial parities, never touching the other rack);
+three failures inside one heptagon lose the three "triangle" symbols,
+which are solved from the heptagon's XOR equation plus the two global
+parities — a Vandermonde system, hence always invertible.  Fatal
+patterns start at four failures (four in one heptagon, or three in a
+heptagon plus the global node).
+
+The general family — any polygon size, group count and global-parity
+count — lives in :class:`~repro.core.polygon_local.PolygonLocalCode`;
+this subclass pins the paper's parameters and supplies the *closed-form*
+fatality predicate (proved by the Vandermonde argument above and
+cross-checked against the exact rank test in the suite), which the
+reliability Markov models rely on for speed.
+"""
+
+from __future__ import annotations
+
+from .polygon_local import PolygonLocalCode
+
+#: Slot indices of the two heptagons and the global node.
+HEPTAGON_A_SLOTS = tuple(range(0, 7))
+HEPTAGON_B_SLOTS = tuple(range(7, 14))
+GLOBAL_SLOT = 14
+
+
+class HeptagonLocalCode(PolygonLocalCode):
+    """Two heptagon local codes + one global-parity node (paper Fig. 1b)."""
+
+    def __init__(self):
+        super().__init__(n=7, groups=2, global_parities=2)
+        self.name = "heptagon-local"
+
+    def is_fatal(self, failed_slots) -> bool:
+        """Closed-form loss condition (rank-checked in the tests).
+
+        Data is lost iff a heptagon has >= 4 concurrent failures, or a
+        heptagon has 3 failures while the global node is down, or both
+        heptagons have 3 failures at once (6 unknowns vs 4 equations).
+        """
+        per_group, global_failed = self.split_failures(failed_slots)
+        f1, f2 = len(per_group[0]), len(per_group[1])
+        if max(f1, f2) >= 4:
+            return True
+        if global_failed and max(f1, f2) >= 3:
+            return True
+        return f1 >= 3 and f2 >= 3
+
+    def can_recover(self, failed_slots) -> bool:
+        """Closed form negation of :meth:`is_fatal`."""
+        return not self.is_fatal(failed_slots)

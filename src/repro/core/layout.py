@@ -1,0 +1,177 @@
+"""Stripe layout model: symbols, replicas and node-slots.
+
+Every code in this library is described by a :class:`StripeLayout` — a
+static map saying, for one stripe:
+
+* which *distinct coded symbols* exist (data, local parity, global
+  parity), each defined as a GF(2^8)-linear combination of the stripe's
+  ``k`` data symbols;
+* on which *node-slots* each symbol is replicated.  A node-slot is an
+  index ``0..length-1``; the cluster layer later binds slots to physical
+  nodes.
+
+This single abstraction is what lets one decoder, one placement engine
+and one repair-bandwidth accountant serve replication, polygon
+(pentagon/heptagon), RAID+mirror, heptagon-local and Reed-Solomon codes
+alike.  The "array code" property the paper highlights — multiple blocks
+of one stripe forced onto the same node — is simply a layout whose slots
+carry more than one symbol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SymbolKind(enum.Enum):
+    """Role of a coded symbol within its stripe."""
+
+    DATA = "data"
+    LOCAL_PARITY = "local_parity"
+    GLOBAL_PARITY = "global_parity"
+
+    def is_parity(self) -> bool:
+        return self is not SymbolKind.DATA
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One distinct coded symbol of a stripe.
+
+    Attributes:
+        index: position of the symbol in the stripe's symbol list.
+        kind: data / local parity / global parity.
+        replicas: node-slot indices holding a copy of this symbol.
+        coefficients: length-``k`` GF(2^8) row expressing the symbol as a
+            linear combination of the stripe's data symbols.  A data
+            symbol has a unit row.
+        label: human-readable name used in repair-plan descriptions
+            (e.g. ``"d3"``, ``"P"``, ``"G1"``).
+    """
+
+    index: int
+    kind: SymbolKind
+    replicas: tuple[int, ...]
+    coefficients: tuple[int, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.replicas) != len(set(self.replicas)):
+            raise ValueError(f"symbol {self.index} replicated twice on one slot")
+        if not self.replicas:
+            raise ValueError(f"symbol {self.index} has no replicas")
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.replicas)
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Static description of one coded stripe.
+
+    Attributes:
+        code_name: name of the owning code (for diagnostics).
+        k: number of data symbols per stripe.
+        length: number of node-slots the stripe touches.
+        symbols: all distinct symbols, data symbols first by convention.
+    """
+
+    code_name: str
+    k: int
+    length: int
+    symbols: tuple[Symbol, ...]
+    _slot_map: dict[int, tuple[int, ...]] = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if self.length <= 0:
+            raise ValueError("length must be positive")
+        data = [s for s in self.symbols if s.kind is SymbolKind.DATA]
+        if len(data) != self.k:
+            raise ValueError(
+                f"{self.code_name}: expected {self.k} data symbols, found {len(data)}"
+            )
+        for position, symbol in enumerate(self.symbols):
+            if symbol.index != position:
+                raise ValueError("symbol indices must match their positions")
+            if len(symbol.coefficients) != self.k:
+                raise ValueError(f"symbol {position} has a malformed coefficient row")
+            for slot in symbol.replicas:
+                if not 0 <= slot < self.length:
+                    raise ValueError(f"symbol {position} references slot {slot} out of range")
+        slot_map: dict[int, list[int]] = {slot: [] for slot in range(self.length)}
+        for symbol in self.symbols:
+            for slot in symbol.replicas:
+                slot_map[slot].append(symbol.index)
+        frozen = {slot: tuple(indices) for slot, indices in slot_map.items()}
+        object.__setattr__(self, "_slot_map", frozen)
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    @property
+    def symbol_count(self) -> int:
+        """Number of distinct coded symbols."""
+        return len(self.symbols)
+
+    @property
+    def total_blocks(self) -> int:
+        """Physical blocks stored per stripe (replicas included)."""
+        return sum(symbol.replica_count for symbol in self.symbols)
+
+    @property
+    def storage_overhead(self) -> float:
+        """Stored blocks per data block (e.g. 3.0 for 3-rep)."""
+        return self.total_blocks / self.k
+
+    def symbols_on_slot(self, slot: int) -> tuple[int, ...]:
+        """Indices of symbols replicated on ``slot``."""
+        return self._slot_map[slot]
+
+    def blocks_per_slot(self) -> tuple[int, ...]:
+        """Number of blocks each slot stores."""
+        return tuple(len(self._slot_map[slot]) for slot in range(self.length))
+
+    def data_symbols(self) -> tuple[Symbol, ...]:
+        return tuple(s for s in self.symbols if s.kind is SymbolKind.DATA)
+
+    def parity_symbols(self) -> tuple[Symbol, ...]:
+        return tuple(s for s in self.symbols if s.kind.is_parity())
+
+    def generator_matrix(self) -> np.ndarray:
+        """(symbol_count, k) GF(2^8) generator matrix, one row per symbol."""
+        return np.array([s.coefficients for s in self.symbols], dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # Failure reasoning
+    # ------------------------------------------------------------------
+    def surviving_symbols(self, failed_slots: set[int] | frozenset[int]) -> tuple[int, ...]:
+        """Symbols with at least one replica outside ``failed_slots``."""
+        failed = set(failed_slots)
+        return tuple(
+            symbol.index
+            for symbol in self.symbols
+            if any(slot not in failed for slot in symbol.replicas)
+        )
+
+    def lost_symbols(self, failed_slots: set[int] | frozenset[int]) -> tuple[int, ...]:
+        """Symbols whose every replica sits on a failed slot."""
+        failed = set(failed_slots)
+        return tuple(
+            symbol.index
+            for symbol in self.symbols
+            if all(slot in failed for slot in symbol.replicas)
+        )
+
+    def replicas_alive(self, symbol_index: int,
+                       failed_slots: set[int] | frozenset[int]) -> tuple[int, ...]:
+        """Slots that still hold ``symbol_index`` given failures."""
+        failed = set(failed_slots)
+        return tuple(
+            slot for slot in self.symbols[symbol_index].replicas if slot not in failed
+        )

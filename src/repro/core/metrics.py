@@ -1,0 +1,117 @@
+"""Static file-system metrics of a code (Table 1 ingredients).
+
+Everything here is derived from the stripe layout alone: storage
+overhead, code length, blocks per node, fault tolerance, and the three
+repair-bandwidth figures the paper quotes in Section 3.1.  MTTDL — the
+remaining Table 1 column — needs a stochastic model and lives in
+:mod:`repro.reliability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .code import Code
+from .layout import SymbolKind
+
+
+@dataclass(frozen=True)
+class CodeMetrics:
+    """Bundle of static metrics for one code."""
+
+    name: str
+    data_blocks: int
+    total_blocks: int
+    distinct_symbols: int
+    storage_overhead: float
+    code_length: int
+    max_blocks_per_node: int
+    fault_tolerance: int
+    inherent_replication: int
+    single_repair_blocks: int | None
+    double_repair_blocks: int | None
+    degraded_read_blocks: int | None
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "code": self.name,
+            "overhead": round(self.storage_overhead, 3),
+            "length": self.code_length,
+            "k": self.data_blocks,
+            "blocks/node": self.max_blocks_per_node,
+            "tolerance": self.fault_tolerance,
+            "1-node repair": self.single_repair_blocks,
+            "2-node repair": self.double_repair_blocks,
+            "degraded read": self.degraded_read_blocks,
+        }
+
+
+def inherent_replication(code: Code) -> int:
+    """Minimum replica count over the code's *data* symbols."""
+    return min(
+        symbol.replica_count
+        for symbol in code.layout.symbols
+        if symbol.kind is SymbolKind.DATA
+    )
+
+
+def single_repair_bandwidth(code: Code) -> int | None:
+    """Blocks moved to repair slot 0, or None if one failure is fatal."""
+    if code.fault_tolerance < 1:
+        return None
+    return code.plan_node_repair([0]).network_blocks
+
+
+def double_repair_bandwidth(code: Code) -> int | None:
+    """Worst-case blocks moved over all 2-slot repairs, or None if fatal."""
+    if code.fault_tolerance < 2:
+        return None
+    worst = 0
+    length = code.length
+    # The layouts here are slot-symmetric enough that scanning pairs with
+    # slot 0 plus one representative interior pair covers all orbits; we
+    # scan everything for codes short enough to afford it.
+    pairs = (
+        [(a, b) for a in range(length) for b in range(a + 1, length)]
+        if length <= 24 else [(0, b) for b in range(1, length)]
+    )
+    for pair in pairs:
+        worst = max(worst, code.plan_node_repair(pair).network_blocks)
+    return worst
+
+
+def degraded_read_bandwidth(code: Code) -> int | None:
+    """Blocks fetched to read one data symbol when all its replicas are down.
+
+    This is the paper's on-the-fly repair scenario: both nodes holding a
+    block's replicas are temporarily unavailable while a map task wants
+    the block.  Returns None when losing all replicas of a data symbol
+    already exceeds the code's tolerance (e.g. plain replication).
+    """
+    layout = code.layout
+    data_symbol = layout.data_symbols()[0]
+    failed = set(data_symbol.replicas)
+    if not code.can_recover(failed):
+        return None
+    plan = code.plan_degraded_read(data_symbol.index, failed)
+    return plan.network_blocks
+
+
+def compute_metrics(code: Code) -> CodeMetrics:
+    """All static metrics for ``code``."""
+    layout = code.layout
+    return CodeMetrics(
+        name=code.name,
+        data_blocks=code.k,
+        total_blocks=layout.total_blocks,
+        distinct_symbols=layout.symbol_count,
+        storage_overhead=layout.storage_overhead,
+        code_length=code.length,
+        max_blocks_per_node=max(layout.blocks_per_slot()),
+        fault_tolerance=code.fault_tolerance,
+        inherent_replication=inherent_replication(code),
+        single_repair_blocks=single_repair_bandwidth(code),
+        double_repair_blocks=double_repair_bandwidth(code),
+        degraded_read_blocks=degraded_read_bandwidth(code),
+    )

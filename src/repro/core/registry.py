@@ -1,0 +1,87 @@
+"""Name-based construction of every code in the library.
+
+The experiment harness, benchmarks and examples all refer to codes by
+the names the paper uses ("3-rep", "pentagon", "heptagon-local",
+"(10,9) RAID+m", ...).  This registry turns those names into
+:class:`~repro.core.code.Code` instances.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+
+from .code import Code
+from .heptagon_local import HeptagonLocalCode
+from .polygon import PolygonCode
+from .polygon_local import PolygonLocalCode
+from .raid_mirror import RaidMirrorCode
+from .reed_solomon import ReedSolomonCode
+from .replication import ReplicationCode
+
+_FACTORIES: dict[str, Callable[[], Code]] = {
+    "2-rep": lambda: ReplicationCode(2),
+    "3-rep": lambda: ReplicationCode(3),
+    "pentagon": lambda: PolygonCode(5),
+    "heptagon": lambda: PolygonCode(7),
+    "heptagon-local": HeptagonLocalCode,
+    "pentagon-local": lambda: PolygonLocalCode(5, groups=2, global_parities=2),
+    "(10,9) RAID+m": lambda: RaidMirrorCode(9),
+    "(12,11) RAID+m": lambda: RaidMirrorCode(11),
+    "rs(14,10)": lambda: ReedSolomonCode(14, 10),
+}
+
+_REP_PATTERN = re.compile(r"^(\d+)-rep$")
+_POLYGON_PATTERN = re.compile(r"^polygon-(\d+)$")
+_POLYGON_LOCAL_PATTERN = re.compile(
+    r"^polygon-local-(\d+)(?:\((\d+)g,(\d+)p\))?$")
+_RAIDM_PATTERN = re.compile(r"^\((\d+),(\d+)\)\s*RAID\+m$", re.IGNORECASE)
+_RS_PATTERN = re.compile(r"^rs\((\d+),(\d+)\)$", re.IGNORECASE)
+
+#: The Table 1 line-up, in the paper's row order.
+TABLE1_CODES = (
+    "3-rep", "pentagon", "heptagon", "heptagon-local",
+    "(10,9) RAID+m", "(12,11) RAID+m",
+)
+
+#: Codes appearing in the locality / MapReduce evaluations.
+EVALUATION_CODES = ("3-rep", "2-rep", "pentagon", "heptagon")
+
+
+def available_codes() -> tuple[str, ...]:
+    """Names with explicit factories (parametric names also parse)."""
+    return tuple(_FACTORIES)
+
+
+def make_code(name: str) -> Code:
+    """Instantiate a code from its registry name.
+
+    Recognises the fixed names above plus the parametric families
+    ``N-rep``, ``polygon-N``, ``polygon-local-N`` (optionally
+    ``polygon-local-N(Gg,Pp)`` for G groups and P global parities),
+    ``(p,k) RAID+m`` and ``rs(n,k)``.
+    """
+    if name in _FACTORIES:
+        return _FACTORIES[name]()
+    match = _REP_PATTERN.match(name)
+    if match:
+        return ReplicationCode(int(match.group(1)))
+    match = _POLYGON_PATTERN.match(name)
+    if match:
+        return PolygonCode(int(match.group(1)))
+    match = _POLYGON_LOCAL_PATTERN.match(name)
+    if match:
+        n = int(match.group(1))
+        groups = int(match.group(2)) if match.group(2) else 2
+        parities = int(match.group(3)) if match.group(3) else 2
+        return PolygonLocalCode(n, groups=groups, global_parities=parities)
+    match = _RAIDM_PATTERN.match(name)
+    if match:
+        total, data = int(match.group(1)), int(match.group(2))
+        if total != data + 1:
+            raise ValueError(f"RAID+m is (k+1,k); got ({total},{data})")
+        return RaidMirrorCode(data)
+    match = _RS_PATTERN.match(name)
+    if match:
+        return ReedSolomonCode(int(match.group(1)), int(match.group(2)))
+    raise KeyError(f"unknown code {name!r}; known: {', '.join(available_codes())}")

@@ -1,0 +1,38 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.table1` — storage overhead / length / MTTDL;
+* :mod:`repro.experiments.fig3` — locality vs load by scheduler and mu;
+* :mod:`repro.experiments.fig4` — Terasort on set-up 1 (2 map slots);
+* :mod:`repro.experiments.fig5` — Terasort on set-up 2 (4 map slots);
+* :mod:`repro.experiments.repair_bandwidth` — Section 2.1/3.1 repair
+  bandwidth, measured on a live MiniHDFS;
+* :mod:`repro.experiments.ablations` — future-work metrics and design
+  knob sweeps.
+
+Each module exposes builders returning structured results plus
+``shape_checks`` functions asserting the paper's qualitative claims;
+the benchmark suite prints them via :mod:`repro.experiments.report`.
+"""
+
+from . import ablations, fig2, fig3, fig4, fig5, repair_bandwidth, table1, transient
+from .report import render_figure, render_series_comparison, render_table
+from .runner import CellStats, FigureResult, Series, average_over_trials, trial_rng
+
+__all__ = [
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "repair_bandwidth",
+    "ablations",
+    "transient",
+    "render_table",
+    "render_figure",
+    "render_series_comparison",
+    "CellStats",
+    "Series",
+    "FigureResult",
+    "average_over_trials",
+    "trial_rng",
+]

@@ -1,0 +1,74 @@
+"""Plain-text rendering of experiment results.
+
+The paper's tables and figure series are regenerated as aligned text —
+the benchmarks print these so `pytest benchmarks/ --benchmark-only -s`
+shows the same rows/curves the paper reports, without needing a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .runner import FigureResult
+
+
+def format_value(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.2e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[format_value(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells)) if cells
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_figure(result: FigureResult, precision: int = 1) -> str:
+    """Render a figure panel as one table: x column + one column per series."""
+    headers = [result.x_label] + result.labels()
+    xs = result.series[0].xs if result.series else []
+    rows = []
+    for i, x in enumerate(xs):
+        row: list[object] = [x]
+        for series in result.series:
+            row.append(round(series.ys[i], precision))
+        rows.append(row)
+    return render_table(headers, rows, title=f"{result.title}  [{result.y_label}]")
+
+
+def render_series_comparison(result: FigureResult, baseline_label: str) -> str:
+    """Render each series' gap to a baseline series (sanity view)."""
+    baseline = result.get(baseline_label)
+    headers = [result.x_label] + [
+        f"{label} - {baseline_label}"
+        for label in result.labels() if label != baseline_label
+    ]
+    rows = []
+    for i, x in enumerate(baseline.xs):
+        row: list[object] = [x]
+        for series in result.series:
+            if series.label == baseline_label:
+                continue
+            row.append(round(series.ys[i] - baseline.ys[i], 2))
+        rows.append(row)
+    return render_table(headers, rows, title=f"{result.title} (gap to {baseline_label})")

@@ -1,0 +1,52 @@
+"""Galois-field GF(2^8) arithmetic substrate.
+
+Provides scalar ops, numpy-vectorised buffer ops, linear algebra
+(rank/solve/invert) and structured matrix builders used by every coded
+scheme in :mod:`repro.core`.
+"""
+
+from .field import GF256, gf_add, gf_div, gf_inv, gf_mul, gf_pow, gf_sub
+from .linalg import (
+    SingularMatrixError,
+    cauchy,
+    independent_rows,
+    invert,
+    matmul,
+    matrix_rank,
+    row_echelon,
+    solve,
+    vandermonde,
+)
+from .polynomial import lagrange_interpolate, poly_add, poly_eval, poly_mul, poly_scale
+from .tables import EXP, FIELD_SIZE, GROUP_ORDER, INV_TABLE, LOG, MUL_TABLE, PRIMITIVE_POLY
+
+__all__ = [
+    "GF256",
+    "gf_add",
+    "gf_sub",
+    "gf_mul",
+    "gf_div",
+    "gf_inv",
+    "gf_pow",
+    "SingularMatrixError",
+    "row_echelon",
+    "matrix_rank",
+    "independent_rows",
+    "solve",
+    "invert",
+    "matmul",
+    "vandermonde",
+    "cauchy",
+    "poly_eval",
+    "poly_add",
+    "poly_mul",
+    "poly_scale",
+    "lagrange_interpolate",
+    "EXP",
+    "LOG",
+    "MUL_TABLE",
+    "INV_TABLE",
+    "FIELD_SIZE",
+    "GROUP_ORDER",
+    "PRIMITIVE_POLY",
+]

@@ -1,0 +1,76 @@
+"""Polynomial arithmetic over GF(2^8).
+
+Used by the Reed-Solomon baseline (evaluation-style encoding and
+Lagrange-interpolation decoding) and by the test-suite to cross-check the
+linear-algebra decoder against an independent formulation.
+"""
+
+from __future__ import annotations
+
+from .field import gf_add, gf_div, gf_mul
+
+
+def poly_eval(coefficients: list[int], x: int) -> int:
+    """Evaluate a polynomial at ``x`` via Horner's rule.
+
+    ``coefficients`` are ordered from the constant term upwards:
+    ``p(x) = c[0] + c[1] x + c[2] x^2 + ...``.
+    """
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = gf_add(gf_mul(result, x), coefficient)
+    return result
+
+
+def poly_add(a: list[int], b: list[int]) -> list[int]:
+    """Sum of two polynomials (coefficient lists, constant-first)."""
+    length = max(len(a), len(b))
+    padded_a = a + [0] * (length - len(a))
+    padded_b = b + [0] * (length - len(b))
+    return [gf_add(x, y) for x, y in zip(padded_a, padded_b)]
+
+
+def poly_scale(a: list[int], scalar: int) -> list[int]:
+    """Product of a polynomial with a scalar."""
+    return [gf_mul(coefficient, scalar) for coefficient in a]
+
+
+def poly_mul(a: list[int], b: list[int]) -> list[int]:
+    """Product of two polynomials."""
+    if not a or not b:
+        return []
+    result = [0] * (len(a) + len(b) - 1)
+    for i, x in enumerate(a):
+        if x == 0:
+            continue
+        for j, y in enumerate(b):
+            if y == 0:
+                continue
+            result[i + j] = gf_add(result[i + j], gf_mul(x, y))
+    return result
+
+
+def lagrange_interpolate(points: list[tuple[int, int]]) -> list[int]:
+    """Return the unique polynomial of degree < len(points) through ``points``.
+
+    ``points`` is a list of ``(x, y)`` pairs with distinct ``x``.  The
+    result is a constant-first coefficient list.
+    """
+    xs = [x for x, _ in points]
+    if len(set(xs)) != len(xs):
+        raise ValueError("interpolation points must have distinct x values")
+    result: list[int] = [0]
+    for i, (xi, yi) in enumerate(points):
+        basis = [1]
+        denominator = 1
+        for j, (xj, _) in enumerate(points):
+            if i == j:
+                continue
+            basis = poly_mul(basis, [xj, 1])  # (x + xj) == (x - xj) in char 2
+            denominator = gf_mul(denominator, gf_add(xi, xj))
+        scale = gf_div(yi, denominator)
+        result = poly_add(result, poly_scale(basis, scale))
+    # Trim trailing zeros but keep at least the constant term.
+    while len(result) > 1 and result[-1] == 0:
+        result.pop()
+    return result

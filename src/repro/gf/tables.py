@@ -1,0 +1,73 @@
+"""Log/antilog tables for GF(2^8).
+
+The field GF(2^8) is realised as binary polynomials modulo the primitive
+polynomial ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11d), the same modulus used by
+the QR-code and many RAID-6 implementations.  The element ``x`` (i.e. the
+byte ``0x02``) is a generator of the multiplicative group, so every
+non-zero element can be written as ``2**i`` for a unique ``i`` in
+``[0, 255)``.  Multiplication then reduces to an addition of logarithms.
+
+The tables are built once at import time.  ``EXP`` is doubled in length so
+``EXP[LOG[a] + LOG[b]]`` never needs an explicit ``% 255``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 used for reduction.
+PRIMITIVE_POLY = 0x11D
+
+#: Order of the field.
+FIELD_SIZE = 256
+
+#: Order of the multiplicative group.
+GROUP_ORDER = FIELD_SIZE - 1
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Construct the exp/log tables for GF(2^8).
+
+    Returns a pair ``(exp, log)`` where ``exp`` has length 512 (the second
+    half repeats the first so that summed logs need no modular reduction)
+    and ``log`` has length 256 with ``log[0]`` left as 0 (log of zero is
+    undefined; callers must special-case zero operands).
+    """
+    exp = np.zeros(2 * GROUP_ORDER + 2, dtype=np.uint8)
+    log = np.zeros(FIELD_SIZE, dtype=np.int32)
+    value = 1
+    for power in range(GROUP_ORDER):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLY
+    for power in range(GROUP_ORDER, 2 * GROUP_ORDER + 2):
+        exp[power] = exp[power - GROUP_ORDER]
+    return exp, log
+
+
+EXP, LOG = _build_tables()
+
+#: 256x256 multiplication table; MUL_TABLE[a, b] == a * b in GF(2^8).
+#: Costs 64 KiB and makes vectorised multiplication a single fancy-index.
+def _build_mul_table() -> np.ndarray:
+    a = np.arange(FIELD_SIZE, dtype=np.int32)
+    table = np.zeros((FIELD_SIZE, FIELD_SIZE), dtype=np.uint8)
+    # Row 0 and column 0 stay zero.
+    logs = LOG[a[1:]]
+    table[1:, 1:] = EXP[(logs[:, None] + logs[None, :])]
+    return table
+
+
+MUL_TABLE = _build_mul_table()
+
+#: INV_TABLE[a] is the multiplicative inverse of a (INV_TABLE[0] == 0).
+def _build_inv_table() -> np.ndarray:
+    inv = np.zeros(FIELD_SIZE, dtype=np.uint8)
+    for value in range(1, FIELD_SIZE):
+        inv[value] = EXP[GROUP_ORDER - LOG[value]]
+    return inv
+
+
+INV_TABLE = _build_inv_table()

@@ -1,0 +1,32 @@
+"""Discrete-event MapReduce simulation: Hadoop heartbeats, delay
+scheduling in the time domain, remote-fetch costs, and the Terasort
+workload used by the paper's Section 4 evaluation."""
+
+from .config import GiB, MiB, MRSimConfig, setup1, setup2
+from .multijob import (
+    JobSpec,
+    MultiJobResult,
+    poisson_job_stream,
+    run_job_stream,
+    sustained_load_sweep,
+)
+from .simulator import JobResult, MapReduceSimulator
+from .terasort import TerasortStats, run_terasort, run_terasort_once
+
+__all__ = [
+    "MRSimConfig",
+    "setup1",
+    "setup2",
+    "MiB",
+    "GiB",
+    "MapReduceSimulator",
+    "JobResult",
+    "TerasortStats",
+    "run_terasort",
+    "run_terasort_once",
+    "JobSpec",
+    "MultiJobResult",
+    "poisson_job_stream",
+    "run_job_stream",
+    "sustained_load_sweep",
+]

@@ -1,0 +1,81 @@
+"""Terasort workload driver for the MapReduce simulator.
+
+The paper's Section 4 evaluation runs Terasort at load points from 25 %
+to 100 % under each coding scheme.  A Terasort job is I/O-uniform: one
+map task per stored block, map output equal to map input, one reduce
+wave.  This module glues the workload generator (which knows how each
+code places replicas) to the simulator and averages over seeded runs.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import make_code
+from ..scheduling import tasks_for_load
+from ..workloads import generate_tasks
+from .config import MRSimConfig
+from .simulator import JobResult, MapReduceSimulator
+
+
+@dataclass(frozen=True)
+class TerasortStats:
+    """Run-averaged Terasort metrics at one (code, load) point."""
+
+    code_name: str
+    load_percent: float
+    runs: int
+    job_time_s: float
+    job_time_stdev: float
+    locality_percent: float
+    traffic_gb: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "code": self.code_name,
+            "load %": self.load_percent,
+            "job time (s)": round(self.job_time_s, 1),
+            "locality %": round(self.locality_percent, 1),
+            "traffic (GB)": round(self.traffic_gb, 2),
+        }
+
+
+def run_terasort_once(code_name: str, load: float, config: MRSimConfig,
+                      rng: np.random.Generator) -> JobResult:
+    """One seeded Terasort job at the given load."""
+    code = make_code(code_name)
+    task_count = tasks_for_load(load, config.node_count, config.map_slots)
+    tasks = generate_tasks(code, task_count, config.node_count, rng)
+    simulator = MapReduceSimulator(config)
+    return simulator.run(tasks, rng)
+
+
+def run_terasort(code_name: str, load: float, config: MRSimConfig,
+                 runs: int = 10, seed_tag: str = "terasort") -> TerasortStats:
+    """Average ``runs`` seeded Terasort jobs (the paper averages too)."""
+    if runs < 1:
+        raise ValueError("need at least one run")
+    from ..experiments.runner import stable_seed
+
+    times: list[float] = []
+    localities: list[float] = []
+    traffics: list[float] = []
+    for trial in range(runs):
+        seed = stable_seed(seed_tag, code_name, load, trial)
+        result = run_terasort_once(
+            code_name, load, config, np.random.default_rng(seed))
+        times.append(result.job_time_s)
+        localities.append(result.locality_percent)
+        traffics.append(result.traffic_gb)
+    return TerasortStats(
+        code_name=code_name,
+        load_percent=load,
+        runs=runs,
+        job_time_s=statistics.fmean(times),
+        job_time_stdev=statistics.stdev(times) if runs > 1 else 0.0,
+        locality_percent=statistics.fmean(localities),
+        traffic_gb=statistics.fmean(traffics),
+    )

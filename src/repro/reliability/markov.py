@@ -1,0 +1,146 @@
+"""Continuous-time Markov chains with absorbing states (MTTDL engine).
+
+Table 1's MTTDL column comes from "standard node failure and repair
+models" [7]: nodes fail and repair as independent exponential processes
+and data loss is the absorption event.  This module provides the
+generic machinery — a CTMC described by its transition rates, and the
+mean-time-to-absorption solve — while :mod:`repro.reliability.models`
+builds the per-code state spaces.
+
+The mean time to absorption from transient state ``s`` satisfies
+
+    (sum of rates out of s) * t(s) - sum_{s' transient} rate(s->s') t(s') = 1
+
+a sparse linear system solved with scipy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.sparse import lil_matrix
+from scipy.sparse.linalg import spsolve
+
+State = Hashable
+
+
+@dataclass
+class MarkovChain:
+    """A CTMC built incrementally via :meth:`add_transition`.
+
+    States are arbitrary hashables; absorbing states are any states
+    marked with :meth:`mark_absorbing` (transitions out of absorbing
+    states are ignored by the solver).
+    """
+
+    transitions: dict[State, list[tuple[float, State]]] = field(default_factory=dict)
+    absorbing: set[State] = field(default_factory=set)
+
+    def add_transition(self, source: State, dest: State, rate: float) -> None:
+        if rate < 0:
+            raise ValueError("transition rates must be non-negative")
+        if rate == 0:
+            return
+        self.transitions.setdefault(source, []).append((rate, dest))
+        self.transitions.setdefault(dest, [])
+
+    def mark_absorbing(self, state: State) -> None:
+        self.absorbing.add(state)
+        self.transitions.setdefault(state, [])
+
+    def states(self) -> list[State]:
+        return list(self.transitions)
+
+    def transient_states(self) -> list[State]:
+        return [s for s in self.transitions if s not in self.absorbing]
+
+    def exit_rate(self, state: State) -> float:
+        return sum(rate for rate, _ in self.transitions.get(state, []))
+
+    def validate(self) -> None:
+        """Check every transient state can eventually reach absorption."""
+        if not self.absorbing:
+            raise ValueError("chain has no absorbing state; MTTDL is infinite")
+        # Reverse reachability from the absorbing set.
+        reverse: dict[State, list[State]] = {s: [] for s in self.transitions}
+        for source, edges in self.transitions.items():
+            for _, dest in edges:
+                reverse.setdefault(dest, []).append(source)
+        reached = set(self.absorbing)
+        frontier = list(self.absorbing)
+        while frontier:
+            state = frontier.pop()
+            for predecessor in reverse.get(state, []):
+                if predecessor not in reached:
+                    reached.add(predecessor)
+                    frontier.append(predecessor)
+        unreachable = [s for s in self.transient_states() if s not in reached]
+        if unreachable:
+            raise ValueError(
+                f"states can never reach absorption: {unreachable[:5]}"
+            )
+
+    def mean_time_to_absorption(self, start: State) -> float:
+        """Expected time from ``start`` until any absorbing state.
+
+        Returns 0.0 when ``start`` is itself absorbing.
+        """
+        if start in self.absorbing:
+            return 0.0
+        if start not in self.transitions:
+            raise KeyError(f"unknown state {start!r}")
+        self.validate()
+        transient = self.transient_states()
+        index = {state: i for i, state in enumerate(transient)}
+        size = len(transient)
+        matrix = lil_matrix((size, size), dtype=np.float64)
+        rhs = np.ones(size, dtype=np.float64)
+        for state in transient:
+            i = index[state]
+            out_rate = self.exit_rate(state)
+            if out_rate <= 0:
+                raise ValueError(f"transient state {state!r} has no exits")
+            matrix[i, i] = out_rate
+            for rate, dest in self.transitions[state]:
+                if dest not in self.absorbing:
+                    matrix[i, index[dest]] -= rate
+        solution = spsolve(matrix.tocsr(), rhs)
+        return float(solution[index[start]])
+
+    def absorption_probability_split(self, start: State) -> dict[State, float]:
+        """Probability of ending in each absorbing state (diagnostics)."""
+        if start in self.absorbing:
+            return {start: 1.0}
+        self.validate()
+        transient = self.transient_states()
+        index = {state: i for i, state in enumerate(transient)}
+        size = len(transient)
+        result: dict[State, float] = {}
+        for target in self.absorbing:
+            matrix = lil_matrix((size, size), dtype=np.float64)
+            rhs = np.zeros(size, dtype=np.float64)
+            for state in transient:
+                i = index[state]
+                matrix[i, i] = self.exit_rate(state)
+                for rate, dest in self.transitions[state]:
+                    if dest in self.absorbing:
+                        if dest == target:
+                            rhs[i] += rate
+                    else:
+                        matrix[i, index[dest]] -= rate
+            solution = spsolve(matrix.tocsr(), rhs)
+            result[target] = float(solution[index[start]])
+        return result
+
+
+HOURS_PER_YEAR = 24 * 365.25
+
+
+def hours_to_years(hours: float) -> float:
+    return hours / HOURS_PER_YEAR
+
+
+def years_to_hours(years: float) -> float:
+    return years * HOURS_PER_YEAR

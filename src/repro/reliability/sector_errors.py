@@ -1,0 +1,148 @@
+"""Unrecoverable-read-error (UBER) extension of the reliability models.
+
+The paper's MTTDL reference [7] (Xin et al., MSST 2003) includes a loss
+mode beyond whole-node failures: while rebuilding, a *read* of a
+surviving block may hit an unrecoverable error.  When the stripe is
+already at its erasure-tolerance boundary ("critically exposed"), that
+failed read is data loss.
+
+This matters for the comparison because it punishes exactly the codes
+whose repairs read many blocks while critical: a (10,9) RAID+m rebuild
+of a doubly-lost symbol reads 9 blocks; the pentagon's partial-parity
+repair reads 10 across the cluster but is only critical after two node
+losses, and replication reads a single block.  With realistic
+block-level unrecoverable-read probabilities the 4-failure-tolerant
+codes' MTTDL collapses toward the 3-failure codes' — one plausible
+explanation for the paper's Table 1 placing (10,9) RAID+m within 2x of
+3-rep (see EXPERIMENTS.md).
+
+Model per state of the group chain:
+
+* a state is *critical* when some single further node failure is fatal;
+* each repair transition out of a critical state is split: with
+  probability ``p = 1 - (1 - u)^blocks_read`` the rebuild hits an
+  unreadable block and the chain absorbs, otherwise the repair
+  completes.  ``u`` is the per-block unrecoverable-read probability;
+* non-critical read errors are ignored (the erasure code itself
+  absorbs them), which keeps the model slightly optimistic and is the
+  standard simplification.
+"""
+
+from __future__ import annotations
+
+from ..core import make_code
+from .markov import MarkovChain
+from .models import DATA_LOSS, ReliabilityParams, group_chain, initial_state
+
+
+def uber_failure_prob(uber_block_prob: float, blocks_read: int) -> float:
+    """Probability that reading ``blocks_read`` blocks hits an error."""
+    if not 0.0 <= uber_block_prob <= 1.0:
+        raise ValueError("uber_block_prob must be a probability")
+    if blocks_read < 0:
+        raise ValueError("blocks_read must be non-negative")
+    return 1.0 - (1.0 - uber_block_prob) ** blocks_read
+
+
+def critical_states(chain: MarkovChain) -> set:
+    """Transient states with a direct transition into data loss."""
+    critical = set()
+    for state in chain.transient_states():
+        for _, dest in chain.transitions[state]:
+            if dest == DATA_LOSS:
+                critical.add(state)
+                break
+    return critical
+
+
+def _is_repair_transition(source, dest) -> bool:
+    """Heuristic shared by all our chains: repairs reduce the failure count.
+
+    States are either ints (failed counts) or tuples whose component sum
+    tracks failed nodes; every repair strictly decreases that sum, and
+    every failure strictly increases it.
+    """
+    def weight(state) -> int:
+        if isinstance(state, int):
+            return state
+        if isinstance(state, tuple):
+            return sum(state)
+        if isinstance(state, frozenset):
+            return len(state)
+        raise TypeError(f"unrecognised state {state!r}")
+
+    return weight(dest) < weight(source)
+
+
+def add_sector_errors(chain: MarkovChain, uber_block_prob: float,
+                      blocks_read_per_repair: int) -> MarkovChain:
+    """Return a new chain with UBER-split repairs in critical states."""
+    p_fail = uber_failure_prob(uber_block_prob, blocks_read_per_repair)
+    extended = MarkovChain()
+    for state in chain.absorbing:
+        extended.mark_absorbing(state)
+    critical = critical_states(chain)
+    for source, edges in chain.transitions.items():
+        if source in chain.absorbing:
+            continue
+        for rate, dest in edges:
+            is_repair = (dest not in chain.absorbing
+                         and _is_repair_transition(source, dest))
+            if is_repair and source in critical and p_fail > 0:
+                extended.add_transition(source, dest, rate * (1 - p_fail))
+                extended.add_transition(source, DATA_LOSS, rate * p_fail)
+            else:
+                extended.add_transition(source, dest, rate)
+    return extended
+
+
+#: Blocks a critical rebuild reads, per scheme.  Derived from the repair
+#: planners (see ``repro.core.metrics``): replication re-copies a single
+#: block; polygon codes run the two-node partial-parity repair; RAID+m
+#: XORs the k other symbols; heptagon-local solves the triangle through
+#: the global equations (12 copies + local/global partials).
+def critical_read_blocks(code_name: str) -> int:
+    from ..core import (
+        PolygonCode,
+        PolygonLocalCode,
+        RaidMirrorCode,
+        ReedSolomonCode,
+        ReplicationCode,
+    )
+    code = make_code(code_name)
+    if isinstance(code, ReplicationCode):
+        return 1
+    if isinstance(code, PolygonCode):
+        return 3 * (code.n - 2) + 1
+    if isinstance(code, RaidMirrorCode):
+        return code.data_count
+    if isinstance(code, PolygonLocalCode):
+        # Triangle repair: 2(n-3) edge copies into the group plus the
+        # local/global parity equations over all data symbols.
+        return code.k
+    if isinstance(code, ReedSolomonCode):
+        return code.data_count
+    return code.k
+
+
+def group_chain_with_uber(code_name: str, params: ReliabilityParams,
+                          uber_block_prob: float,
+                          model: str = "pattern") -> MarkovChain:
+    """Group chain for ``code_name`` including the UBER loss mode."""
+    base = group_chain(code_name, params, model=model)
+    return add_sector_errors(base, uber_block_prob,
+                             critical_read_blocks(code_name))
+
+
+def system_mttdl_years_with_uber(code_name: str, params: ReliabilityParams,
+                                 uber_block_prob: float,
+                                 node_count: int = 25,
+                                 model: str = "pattern") -> float:
+    """System MTTDL (years) under node failures + unrecoverable reads."""
+    from .markov import hours_to_years
+    from .system import group_count
+
+    chain = group_chain_with_uber(code_name, params, uber_block_prob, model)
+    start = initial_state(code_name, model=model)
+    hours = chain.mean_time_to_absorption(start)
+    return hours_to_years(hours) / group_count(code_name, node_count)

@@ -1,0 +1,5 @@
+"""Workload generators: locality task sets and Terasort job models."""
+
+from .locality import generate_tasks, stripe_node_sample, workload_for_load
+
+__all__ = ["generate_tasks", "stripe_node_sample", "workload_for_load"]

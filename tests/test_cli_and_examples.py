@@ -1,0 +1,104 @@
+"""Tests for the CLI entry point and smoke tests for every example."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig3_options(self):
+        args = build_parser().parse_args(["fig3", "--mu", "4", "--trials", "7"])
+        assert args.command == "fig3"
+        assert args.mu == 4
+        assert args.trials == 7
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "pentagon" in out
+        assert "1.20e+09" in out
+        assert "[ok]" in out and "FAIL" not in out
+
+    def test_fig3_single_panel(self, capsys):
+        assert main(["fig3", "--mu", "2", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "mu=2" in out
+        assert "hept-DS" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "job time" in out
+        assert "heptagon" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "9 nodes" in out
+
+    def test_repair(self, capsys):
+        assert main(["repair"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded read" in out
+        assert "FAIL" not in out
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    path = EXAMPLES_DIR / f"{name}.py"
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    """Every example must run end-to-end (small trial counts)."""
+
+    def test_quickstart(self, capsys):
+        run_example("quickstart")
+        assert "quickstart OK" in capsys.readouterr().out
+
+    def test_cluster_walkthrough(self, capsys):
+        run_example("cluster_walkthrough")
+        out = capsys.readouterr().out
+        assert "walkthrough OK" in out
+        assert "cross-rack" in out
+
+    def test_locality_study(self, capsys):
+        run_example("locality_study", ["2"])
+        out = capsys.readouterr().out
+        assert "peeling recovers" in out
+
+    def test_terasort_simulation(self, capsys):
+        run_example("terasort_simulation", ["2"])
+        out = capsys.readouterr().out
+        assert "set-up 1" in out and "set-up 2" in out
+
+    def test_reliability_study(self, capsys):
+        run_example("reliability_study")
+        out = capsys.readouterr().out
+        assert "Monte-Carlo validation" in out
+        assert "FAIL" not in out
+
+    def test_degraded_mapreduce(self, capsys):
+        run_example("degraded_mapreduce")
+        out = capsys.readouterr().out
+        assert "blocks fetched" in out

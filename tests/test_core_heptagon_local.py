@@ -1,0 +1,220 @@
+"""Tests for the heptagon-local locally regenerating code (paper Section 2.2)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GLOBAL_SLOT,
+    Code,
+    HeptagonLocalCode,
+    SymbolKind,
+    UnrecoverableStripeError,
+    verify_repair_plan,
+)
+from repro.gf import GF256
+
+
+@pytest.fixture(scope="module")
+def code():
+    return HeptagonLocalCode()
+
+
+@pytest.fixture(scope="module")
+def encoded(code):
+    rng = np.random.default_rng(7)
+    data = [rng.integers(0, 256, 48, dtype=np.uint8) for _ in range(40)]
+    return code.encode(data), data
+
+
+class TestLayout:
+    def test_dimensions_match_table1(self, code):
+        assert code.k == 40
+        assert code.length == 15
+        assert code.total_blocks == 86
+        assert code.storage_overhead == pytest.approx(2.15)
+
+    def test_symbol_census(self, code):
+        layout = code.layout
+        kinds = [s.kind for s in layout.symbols]
+        assert kinds.count(SymbolKind.DATA) == 40
+        assert kinds.count(SymbolKind.LOCAL_PARITY) == 2
+        assert kinds.count(SymbolKind.GLOBAL_PARITY) == 2
+
+    def test_heptagon_nodes_store_six_blocks_global_stores_two(self, code):
+        per_slot = code.layout.blocks_per_slot()
+        assert per_slot[:14] == (6,) * 14
+        assert per_slot[GLOBAL_SLOT] == 2
+
+    def test_data_symbols_double_replicated_globals_single(self, code):
+        for symbol in code.layout.symbols:
+            expected = 1 if symbol.kind is SymbolKind.GLOBAL_PARITY else 2
+            assert symbol.replica_count == expected
+
+    def test_groups_are_disjoint(self, code):
+        groups = code.local_group_slots()
+        all_slots = [s for slots in groups.values() for s in slots]
+        assert sorted(all_slots) == list(range(15))
+
+    def test_group_of_slot(self, code):
+        assert code.group_of_slot(0) == 0
+        assert code.group_of_slot(13) == 1
+        assert code.group_of_slot(14) is None   # the global-parity node
+        with pytest.raises(ValueError):
+            code.group_of_slot(15)
+
+
+class TestEncoding:
+    def test_local_parities_are_xor_of_their_half(self, code, encoded):
+        blocks, data = encoded
+        layout = code.layout
+        parity_a = next(s for s in layout.symbols if s.label == "PA")
+        parity_b = next(s for s in layout.symbols if s.label == "PB")
+        assert np.array_equal(blocks[parity_a.index], GF256.xor_reduce(data[:20]))
+        assert np.array_equal(blocks[parity_b.index], GF256.xor_reduce(data[20:]))
+
+    def test_global_parities_are_vandermonde_combinations(self, code, encoded):
+        blocks, data = encoded
+        layout = code.layout
+        for label, power in (("G1", 1), ("G2", 2)):
+            symbol = next(s for s in layout.symbols if s.label == label)
+            from repro.gf import gf_pow
+            expected = GF256.combine(
+                [gf_pow(i + 1, power) for i in range(40)], data
+            )
+            assert np.array_equal(blocks[symbol.index], expected)
+
+
+class TestFaultTolerance:
+    def test_tolerates_any_three_failures(self, code):
+        assert code.fault_tolerance == 3
+
+    def test_all_triples_recoverable_by_rank(self, code):
+        for subset in itertools.combinations(range(15), 3):
+            assert Code.can_recover(code, subset), subset
+
+    def test_closed_form_matches_rank_on_quadruples(self, code):
+        rng = np.random.default_rng(11)
+        quadruples = list(itertools.combinations(range(15), 4))
+        sample = rng.choice(len(quadruples), size=160, replace=False)
+        for index in sample:
+            subset = quadruples[index]
+            assert code.can_recover(subset) == Code.can_recover(code, subset), subset
+
+    def test_fatal_quadruple_census(self, code):
+        """4-in-a-heptagon: 2*C(7,4)=70; 3-in-a-heptagon + global: 2*C(7,3)=70."""
+        fatal = code.enumerate_fatal_quadruples()
+        assert len(fatal) == 140
+
+    def test_specific_fatal_patterns(self, code):
+        assert code.is_fatal([0, 1, 2, 3])            # 4 in heptagon A
+        assert code.is_fatal([7, 8, 9, GLOBAL_SLOT])  # 3 in B + global
+        assert code.is_fatal([0, 1, 2, 7, 8, 9])      # 3 + 3
+        assert not code.is_fatal([0, 1, 7, 8])        # 2 + 2 is fine
+        assert not code.is_fatal([0, 1, 2, 7])        # 3 + 1 is fine
+        assert not code.is_fatal([0, 7, GLOBAL_SLOT])  # 1 + 1 + global
+
+
+class TestDecode:
+    def test_decode_after_triangle_loss(self, code, encoded):
+        blocks, data = encoded
+        failed = {2, 4, 6}
+        available = {
+            s: blocks[s] for s in code.layout.surviving_symbols(failed)
+        }
+        decoded = code.decode_data(available)
+        for expected, actual in zip(data, decoded):
+            assert np.array_equal(expected, actual)
+
+    def test_decode_fails_after_fatal_pattern(self, code, encoded):
+        blocks, _ = encoded
+        failed = {0, 1, 2, 3}
+        available = {
+            s: blocks[s] for s in code.layout.surviving_symbols(failed)
+        }
+        from repro.gf import SingularMatrixError
+        with pytest.raises(SingularMatrixError):
+            code.decode_data(available)
+
+
+class TestLocalRepair:
+    def test_single_failure_repairs_locally(self, code):
+        """A one-node repair touches only slots of the same heptagon."""
+        plan = code.plan_node_repair([3])
+        assert plan.network_blocks == 6
+        touched = {t.source_slot for t in plan.transfers}
+        assert touched <= set(range(7))
+
+    def test_single_failure_in_b_stays_in_b(self, code):
+        plan = code.plan_node_repair([9])
+        touched = {t.source_slot for t in plan.transfers}
+        assert touched <= set(range(7, 14))
+
+    def test_double_failure_in_one_heptagon_uses_partial_parities(self, code):
+        plan = code.plan_node_repair([0, 1])
+        # Heptagon double repair: 10 copies + 5 partials + 1 forward = 16.
+        assert plan.network_blocks == 16
+        sources = {t.source_slot for t in plan.transfers if t.source_slot is not None}
+        assert sources <= set(range(7))
+
+    def test_repairs_restore_bytes(self, code, encoded):
+        blocks, _ = encoded
+        patterns = [
+            [0], [8], [GLOBAL_SLOT],
+            [0, 1], [9, 12], [0, 8],
+            [0, 1, 8], [0, 8, 9], [5, 6, 12],
+            [0, GLOBAL_SLOT], [0, 1, GLOBAL_SLOT], [3, 9, GLOBAL_SLOT],
+        ]
+        for failed in patterns:
+            plan = code.plan_node_repair(failed)
+            assert verify_repair_plan(code, blocks, plan), failed
+
+    def test_triangle_repair_restores_bytes(self, code, encoded):
+        """3 failures in one heptagon need the global equations."""
+        blocks, _ = encoded
+        for failed in ([0, 1, 2], [4, 5, 6], [7, 8, 13], [9, 11, 12]):
+            plan = code.plan_node_repair(failed)
+            assert verify_repair_plan(code, blocks, plan), failed
+
+    def test_global_rebuild_uses_partial_aggregation(self, code):
+        plan = code.plan_node_repair([GLOBAL_SLOT])
+        # 5 primary slots per heptagon x 2 heptagons x 2 parities = 20
+        # partial blocks, not 40 whole-block reads.
+        assert plan.network_blocks == 20
+        assert all(t.kind.value == "partial" for t in plan.transfers)
+
+    def test_fatal_pattern_raises(self, code):
+        with pytest.raises(UnrecoverableStripeError):
+            code.plan_node_repair([0, 1, 2, 3])
+        with pytest.raises(UnrecoverableStripeError):
+            code.plan_node_repair([0, 1, 2, GLOBAL_SLOT])
+
+
+class TestDegradedRead:
+    def test_local_degraded_read_is_cheap(self, code, encoded):
+        """A doubly-lost heptagon block rebuilds from 5 partial parities."""
+        blocks, _ = encoded
+        from repro.core import execute_read_plan
+        symbol = 0  # edge (0,1) of heptagon A
+        plan = code.plan_degraded_read(symbol, failed_slots={0, 1})
+        assert plan.network_blocks == 5  # heptagon partial parities only
+        sources = {t.source_slot for t in plan.transfers}
+        assert sources <= set(range(7))  # never touches rack B or global
+        value = execute_read_plan(code, blocks, plan, {0, 1})
+        assert np.array_equal(value, blocks[symbol])
+
+    def test_b_side_degraded_read_stays_in_b(self, code, encoded):
+        blocks, _ = encoded
+        from repro.core import execute_read_plan
+        # Edge (7,8) of heptagon B is symbol 21 (B's local index 0).
+        symbol = 21
+        plan = code.plan_degraded_read(symbol, failed_slots={7, 8})
+        assert plan.network_blocks == 5
+        assert {t.source_slot for t in plan.transfers} <= set(range(7, 14))
+        value = execute_read_plan(code, blocks, plan, {7, 8})
+        assert np.array_equal(value, blocks[symbol])
+
+    def test_read_with_live_replica_costs_one(self, code):
+        plan = code.plan_degraded_read(0, failed_slots={0})
+        assert plan.network_blocks == 1

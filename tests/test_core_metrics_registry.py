@@ -1,0 +1,125 @@
+"""Tests for code metrics (static Table 1 columns) and the registry."""
+
+import pytest
+
+from repro.core import (
+    EVALUATION_CODES,
+    TABLE1_CODES,
+    HeptagonLocalCode,
+    PolygonCode,
+    RaidMirrorCode,
+    ReedSolomonCode,
+    ReplicationCode,
+    available_codes,
+    compute_metrics,
+    degraded_read_bandwidth,
+    inherent_replication,
+    make_code,
+)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,cls", [
+        ("2-rep", ReplicationCode),
+        ("3-rep", ReplicationCode),
+        ("pentagon", PolygonCode),
+        ("heptagon", PolygonCode),
+        ("heptagon-local", HeptagonLocalCode),
+        ("(10,9) RAID+m", RaidMirrorCode),
+        ("(12,11) RAID+m", RaidMirrorCode),
+        ("rs(14,10)", ReedSolomonCode),
+    ])
+    def test_fixed_names(self, name, cls):
+        code = make_code(name)
+        assert isinstance(code, cls)
+        assert code.name == name or name in ("rs(14,10)",)
+
+    def test_parametric_names(self):
+        assert make_code("4-rep").length == 4
+        assert make_code("polygon-6").length == 6
+        assert make_code("(6,5) RAID+m").length == 12
+        assert make_code("rs(9,6)").length == 9
+
+    def test_bad_raidm_geometry(self):
+        with pytest.raises(ValueError):
+            make_code("(7,5) RAID+m")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_code("fountain")
+
+    def test_table1_lineup(self):
+        assert TABLE1_CODES == (
+            "3-rep", "pentagon", "heptagon", "heptagon-local",
+            "(10,9) RAID+m", "(12,11) RAID+m",
+        )
+
+    def test_evaluation_lineup(self):
+        assert EVALUATION_CODES == ("3-rep", "2-rep", "pentagon", "heptagon")
+
+    def test_available_codes_all_construct(self):
+        for name in available_codes():
+            make_code(name)
+
+
+class TestTable1StaticColumns:
+    """The paper's Table 1 storage-overhead and code-length columns."""
+
+    EXPECTED = {
+        "3-rep": (3.0, 3),
+        "pentagon": (20 / 9, 5),
+        "heptagon": (2.1, 7),
+        "heptagon-local": (2.15, 15),
+        "(10,9) RAID+m": (20 / 9, 20),
+        "(12,11) RAID+m": (24 / 11, 24),
+    }
+
+    @pytest.mark.parametrize("name", TABLE1_CODES)
+    def test_overhead_and_length(self, name):
+        overhead, length = self.EXPECTED[name]
+        metrics = compute_metrics(make_code(name))
+        assert metrics.storage_overhead == pytest.approx(overhead, abs=1e-6)
+        assert metrics.code_length == length
+
+    def test_pentagon_raidm_overhead_tie(self):
+        """The paper's headline: same 2.22x overhead, length 5 vs 20."""
+        pentagon_metrics = compute_metrics(make_code("pentagon"))
+        raidm_metrics = compute_metrics(make_code("(10,9) RAID+m"))
+        assert pentagon_metrics.storage_overhead == pytest.approx(
+            raidm_metrics.storage_overhead)
+        assert pentagon_metrics.code_length == 5
+        assert raidm_metrics.code_length == 20
+
+
+class TestRepairColumns:
+    def test_pentagon_metrics(self):
+        metrics = compute_metrics(make_code("pentagon"))
+        assert metrics.single_repair_blocks == 4
+        assert metrics.double_repair_blocks == 10
+        assert metrics.degraded_read_blocks == 3
+        assert metrics.fault_tolerance == 2
+        assert metrics.max_blocks_per_node == 4
+
+    def test_heptagon_metrics(self):
+        metrics = compute_metrics(make_code("heptagon"))
+        assert metrics.single_repair_blocks == 6
+        assert metrics.double_repair_blocks == 16
+        assert metrics.degraded_read_blocks == 5
+
+    def test_raidm_degraded_read_is_nine(self):
+        """Section 3.1: 9 blocks for the (10,9) RAID+m on-the-fly repair."""
+        assert degraded_read_bandwidth(make_code("(10,9) RAID+m")) == 9
+
+    def test_replication_has_no_degraded_read(self):
+        assert degraded_read_bandwidth(make_code("2-rep")) is None
+
+    def test_inherent_replication(self):
+        assert inherent_replication(make_code("pentagon")) == 2
+        assert inherent_replication(make_code("heptagon-local")) == 2
+        assert inherent_replication(make_code("3-rep")) == 3
+        assert inherent_replication(make_code("rs(14,10)")) == 1
+
+    def test_as_row_keys(self):
+        row = compute_metrics(make_code("pentagon")).as_row()
+        assert row["code"] == "pentagon"
+        assert row["length"] == 5

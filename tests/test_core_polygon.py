@@ -1,0 +1,278 @@
+"""Tests for the pentagon/heptagon polygon codes (paper Section 2.1)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Code,
+    PolygonCode,
+    SymbolKind,
+    UnrecoverableStripeError,
+    execute_read_plan,
+    execute_repair_plan,
+    heptagon,
+    pentagon,
+    verify_repair_plan,
+)
+from repro.gf import GF256
+
+
+def random_blocks(code, size=64, seed=0):
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(code.k)]
+    return code.encode(data), data
+
+
+class TestPentagonLayout:
+    def test_paper_figure_1a_block_assignment(self):
+        """Node contents match Fig. 1(a) (paper labels 1..9,P == ours 0..8,P)."""
+        code = pentagon()
+        layout = code.layout
+        # Paper: N1={1,2,3,4} N2={1,5,6,7} N3={2,5,8,9} N4={3,6,8,P} N5={4,7,9,P}
+        expected = [
+            {0, 1, 2, 3},
+            {0, 4, 5, 6},
+            {1, 4, 7, 8},
+            {2, 5, 7, 9},
+            {3, 6, 8, 9},
+        ]
+        for slot, symbols in enumerate(expected):
+            assert set(layout.symbols_on_slot(slot)) == symbols
+        assert layout.symbols[9].kind is SymbolKind.LOCAL_PARITY
+
+    def test_dimensions(self):
+        code = pentagon()
+        assert code.k == 9
+        assert code.length == 5
+        assert code.symbol_count == 10
+        assert code.total_blocks == 20
+
+    def test_storage_overhead_matches_table1(self):
+        assert pentagon().storage_overhead == pytest.approx(20 / 9, abs=1e-9)
+
+    def test_every_node_stores_four_blocks(self):
+        assert pentagon().layout.blocks_per_slot() == (4, 4, 4, 4, 4)
+
+    def test_every_symbol_double_replicated(self):
+        assert all(s.replica_count == 2 for s in pentagon().layout.symbols)
+
+
+class TestHeptagonLayout:
+    def test_dimensions(self):
+        code = heptagon()
+        assert code.k == 20
+        assert code.length == 7
+        assert code.symbol_count == 21
+        assert code.total_blocks == 42
+
+    def test_storage_overhead_matches_table1(self):
+        assert heptagon().storage_overhead == pytest.approx(2.1, abs=1e-9)
+
+    def test_every_node_stores_six_blocks(self):
+        assert heptagon().layout.blocks_per_slot() == (6,) * 7
+
+
+class TestGeneralPolygon:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7, 8])
+    def test_counts(self, n):
+        code = PolygonCode(n)
+        edges = n * (n - 1) // 2
+        assert code.k == edges - 1
+        assert code.total_blocks == 2 * edges
+        assert code.layout.blocks_per_slot() == (n - 1,) * n
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            PolygonCode(2)
+
+    def test_edge_symbol_lookup(self):
+        code = pentagon()
+        assert code.edge_symbol(0, 1) == 0
+        assert code.edge_symbol(1, 0) == 0
+        assert code.edge_symbol(3, 4) == 9
+        with pytest.raises(ValueError):
+            code.edge_symbol(2, 2)
+
+
+class TestFaultTolerance:
+    @pytest.mark.parametrize("n", [5, 7])
+    def test_tolerates_exactly_two_failures(self, n):
+        assert PolygonCode(n).fault_tolerance == 2
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_closed_form_matches_rank(self, n):
+        """The O(1) can_recover agrees with the generic GF rank test."""
+        code = PolygonCode(n)
+        for size in (1, 2, 3):
+            for subset in itertools.combinations(range(n), size):
+                assert code.can_recover(subset) == Code.can_recover(code, subset)
+
+    def test_every_triple_is_fatal(self):
+        code = pentagon()
+        assert len(code.fatal_patterns(3)) == 10  # C(5,3)
+        assert code.fatal_pattern_fraction(3) == 1.0
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("n", [5, 7])
+    def test_parity_is_xor_of_data(self, n):
+        code = PolygonCode(n)
+        blocks, data = random_blocks(code, seed=n)
+        assert np.array_equal(blocks[-1], GF256.xor_reduce(data))
+
+    def test_decode_from_any_three_nodes(self):
+        code = pentagon()
+        blocks, data = random_blocks(code, seed=1)
+        for survivors in itertools.combinations(range(5), 3):
+            available = {}
+            for slot in survivors:
+                for symbol in code.layout.symbols_on_slot(slot):
+                    available[symbol] = blocks[symbol]
+            decoded = code.decode_data(available)
+            for expected, actual in zip(data, decoded):
+                assert np.array_equal(expected, actual)
+
+    def test_encode_wrong_count_rejected(self):
+        with pytest.raises(ValueError):
+            pentagon().encode([b"\x00"] * 8)
+
+    def test_encode_mismatched_sizes_rejected(self):
+        data = [b"\x00\x00"] * 8 + [b"\x00"]
+        with pytest.raises(ValueError):
+            pentagon().encode(data)
+
+
+class TestSingleNodeRepair:
+    @pytest.mark.parametrize("n", [5, 7])
+    def test_repair_by_transfer_bandwidth(self, n):
+        """Single-node repair moves exactly blocks-per-node blocks, no compute."""
+        code = PolygonCode(n)
+        for slot in range(n):
+            plan = code.plan_node_repair([slot])
+            assert plan.network_blocks == n - 1
+            assert not plan.decode_steps
+            assert all(t.kind.value == "copy" for t in plan.transfers)
+
+    @pytest.mark.parametrize("n", [5, 7])
+    def test_repair_restores_bytes(self, n):
+        code = PolygonCode(n)
+        blocks, _ = random_blocks(code, seed=10 + n)
+        for slot in range(n):
+            assert verify_repair_plan(code, blocks, code.plan_node_repair([slot]))
+
+
+class TestDoubleNodeRepair:
+    def test_pentagon_bandwidth_is_ten_blocks(self):
+        """Paper Section 2.1: two-node repair transfers 10 blocks total."""
+        code = pentagon()
+        for pair in itertools.combinations(range(5), 2):
+            assert code.plan_node_repair(pair).network_blocks == 10
+
+    def test_heptagon_bandwidth_is_sixteen_blocks(self):
+        """2*(n-2) copies + (n-2) partials + 1 forward = 16 for n=7."""
+        code = heptagon()
+        for pair in itertools.combinations(range(7), 2):
+            assert code.plan_node_repair(pair).network_blocks == 16
+
+    def test_partial_parities_read_three_blocks_each_on_pentagon(self):
+        """Matches the paper's P3=3+6+P style combines (3 symbols each)."""
+        code = pentagon()
+        reads = code.partial_parity_reads(0, 1)
+        assert set(reads) == {2, 3, 4}
+        for symbols in reads.values():
+            assert len(symbols) == 3
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7, 8])
+    def test_partial_parity_cover_property(self, n):
+        """Across survivors, every symbol except the lost edge appears once."""
+        code = PolygonCode(n)
+        for f1, f2 in itertools.combinations(range(n), 2):
+            reads = code.partial_parity_reads(f1, f2)
+            covered = list(itertools.chain.from_iterable(reads.values()))
+            lost = code.edge_symbol(f1, f2)
+            assert sorted(covered) == sorted(
+                set(range(code.symbol_count)) - {lost}
+            )
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_double_repair_restores_bytes(self, n):
+        code = PolygonCode(n)
+        blocks, _ = random_blocks(code, seed=20 + n)
+        for pair in itertools.combinations(range(n), 2):
+            assert verify_repair_plan(code, blocks, code.plan_node_repair(pair))
+
+    def test_triple_failure_raises(self):
+        with pytest.raises(UnrecoverableStripeError):
+            pentagon().plan_node_repair([0, 1, 2])
+
+    def test_empty_repair_is_noop(self):
+        plan = pentagon().plan_node_repair([])
+        assert plan.network_blocks == 0
+
+
+class TestDegradedRead:
+    def test_pentagon_doubly_lost_costs_three_blocks(self):
+        """Paper Section 3.1: 3 blocks suffice vs 9 for (10,9) RAID+m."""
+        code = pentagon()
+        symbol = code.edge_symbol(0, 1)
+        plan = code.plan_degraded_read(symbol, failed_slots={0, 1})
+        assert plan.network_blocks == 3
+        assert plan.degraded
+
+    def test_heptagon_doubly_lost_costs_five_blocks(self):
+        code = heptagon()
+        symbol = code.edge_symbol(2, 5)
+        plan = code.plan_degraded_read(symbol, failed_slots={2, 5})
+        assert plan.network_blocks == 5
+
+    def test_degraded_read_returns_correct_bytes(self):
+        code = pentagon()
+        blocks, _ = random_blocks(code, seed=42)
+        for f1, f2 in itertools.combinations(range(5), 2):
+            symbol = code.edge_symbol(f1, f2)
+            plan = code.plan_degraded_read(symbol, failed_slots={f1, f2})
+            value = execute_read_plan(code, blocks, plan, {f1, f2})
+            assert np.array_equal(value, blocks[symbol])
+
+    def test_single_replica_down_is_plain_copy(self):
+        code = pentagon()
+        symbol = code.edge_symbol(0, 1)
+        plan = code.plan_degraded_read(symbol, failed_slots={0})
+        assert plan.network_blocks == 1
+        assert not plan.degraded
+
+    def test_local_read_is_free(self):
+        code = pentagon()
+        symbol = code.edge_symbol(0, 1)
+        plan = code.plan_degraded_read(symbol, failed_slots=set(), reader_slot=1)
+        assert plan.network_blocks == 0
+
+
+class TestRepairPlanProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(4, 8), st.integers(0, 10_000))
+    def test_random_double_failures_verified(self, n, seed):
+        rng = np.random.default_rng(seed)
+        code = PolygonCode(n)
+        pair = sorted(rng.choice(n, size=2, replace=False).tolist())
+        blocks, _ = random_blocks(code, size=16, seed=seed)
+        plan = code.plan_node_repair(pair)
+        assert verify_repair_plan(code, blocks, plan)
+        # Bandwidth formula: 2(n-2) copies + (n-2) partials + 1 forward.
+        assert plan.network_blocks == 3 * (n - 2) + 1
+
+    def test_no_transfer_sources_from_failed_slot(self):
+        code = heptagon()
+        plan = code.plan_node_repair([1, 4])
+        produced_at_sink = {
+            step.produces_symbol for step in plan.decode_steps
+        }
+        for transfer in plan.transfers:
+            if transfer.kind.value == "decoded":
+                assert transfer.symbols_read[0] in produced_at_sink
+            else:
+                assert transfer.source_slot not in (1, 4)

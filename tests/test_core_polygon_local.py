@@ -1,0 +1,155 @@
+"""Tests for the generalized PolygonLocalCode family.
+
+The heptagon-local code is the (n=7, groups=2, parities=2) member; the
+general family is an extension of the paper's construction (its Section
+2.2 cites the general locally regenerating framework [8]).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Code,
+    HeptagonLocalCode,
+    PolygonLocalCode,
+    SymbolKind,
+    make_code,
+    verify_repair_plan,
+)
+
+
+def encoded(code, seed=0, size=32):
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(code.k)]
+    return code.encode(data), data
+
+
+class TestConstruction:
+    def test_heptagon_local_is_the_paper_member(self):
+        general = PolygonLocalCode(7, groups=2, global_parities=2)
+        named = HeptagonLocalCode()
+        assert general.k == named.k == 40
+        assert general.length == named.length == 15
+        assert general.total_blocks == named.total_blocks == 86
+        assert np.array_equal(general.layout.generator_matrix(),
+                              named.layout.generator_matrix())
+
+    def test_pentagon_local_dimensions(self):
+        code = make_code("pentagon-local")
+        assert isinstance(code, PolygonLocalCode)
+        assert code.k == 18            # 2 x 9 data blocks
+        assert code.length == 11       # 2 x 5 + global node
+        assert code.total_blocks == 42  # 2 x 20 + 2 globals
+        assert code.storage_overhead == pytest.approx(42 / 18)
+
+    def test_three_group_member(self):
+        code = make_code("polygon-local-5(3g,2p)")
+        assert code.groups == 3
+        assert code.k == 27
+        assert code.length == 16
+
+    def test_registry_default_parameters(self):
+        code = make_code("polygon-local-6")
+        assert code.n == 6 and code.groups == 2 and code.global_parities == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PolygonLocalCode(5, groups=0)
+        with pytest.raises(ValueError):
+            PolygonLocalCode(5, global_parities=0)
+        with pytest.raises(ValueError):
+            PolygonLocalCode(24, groups=2)   # 2 x 275 data > 255 generators
+
+    def test_symbol_census(self):
+        code = make_code("pentagon-local")
+        kinds = [s.kind for s in code.layout.symbols]
+        assert kinds.count(SymbolKind.DATA) == 18
+        assert kinds.count(SymbolKind.LOCAL_PARITY) == 2
+        assert kinds.count(SymbolKind.GLOBAL_PARITY) == 2
+
+    def test_domains_for_rack_placement(self):
+        code = make_code("polygon-local-5(3g,2p)")
+        domains = code.local_group_slots()
+        assert set(domains) == {"A", "B", "C", "G"}
+        assert domains["C"] == (10, 11, 12, 13, 14)
+        assert domains["G"] == (15,)
+
+
+class TestFaultTolerance:
+    def test_pentagon_local_tolerates_three(self):
+        assert make_code("pentagon-local").fault_tolerance == 3
+
+    def test_exact_rank_agrees_with_generic(self):
+        code = make_code("pentagon-local")
+        rng = np.random.default_rng(3)
+        subsets = list(itertools.combinations(range(code.length), 4))
+        for index in rng.choice(len(subsets), size=60, replace=False):
+            subset = subsets[index]
+            assert code.can_recover(subset) == Code.can_recover(code, subset)
+
+    def test_memoisation_is_consistent(self):
+        code = make_code("pentagon-local")
+        assert code.can_recover({0, 1, 2}) == code.can_recover({0, 1, 2})
+
+
+class TestRepair:
+    @pytest.fixture(scope="class")
+    def code(self):
+        return make_code("pentagon-local")
+
+    def test_local_repairs_stay_in_group(self, code):
+        plan = code.plan_node_repair([6])   # second pentagon, slot 1
+        sources = {t.source_slot for t in plan.transfers}
+        assert sources <= set(range(5, 10))
+        assert plan.network_blocks == 4
+
+    def test_double_repair_uses_partial_parities(self, code):
+        plan = code.plan_node_repair([0, 1])
+        assert plan.network_blocks == 10    # the pentagon Section 2.1 count
+
+    def test_repairs_restore_bytes(self, code):
+        blocks, _ = encoded(code, seed=5)
+        patterns = [
+            [0], [7], [code.global_slot],
+            [0, 1], [5, 6], [0, 5],
+            [0, 1, 5], [0, 1, code.global_slot],
+            [0, 1, 2],                       # triangle -> global equations
+            [5, 6, 7],
+        ]
+        for failed in patterns:
+            plan = code.plan_node_repair(failed)
+            assert verify_repair_plan(code, blocks, plan), failed
+
+    def test_global_rebuild_partial_aggregation(self, code):
+        plan = code.plan_node_repair([code.global_slot])
+        # Pentagon data-edge primaries live on slots 0..2 of each group
+        # (slot 3's only lower-endpoint edge is the parity edge (3,4)):
+        # 3 slots x 2 groups x 2 parities = 12 partial blocks, not 18 reads.
+        assert plan.network_blocks == 12
+        assert all(t.kind.value == "partial" for t in plan.transfers)
+
+    def test_degraded_read_resolves_locally(self, code):
+        blocks, _ = encoded(code, seed=6)
+        from repro.core import execute_read_plan
+        plan = code.plan_degraded_read(0, failed_slots={0, 1})
+        assert plan.network_blocks == 3     # pentagon partial parities
+        assert {t.source_slot for t in plan.transfers} <= set(range(5))
+        value = execute_read_plan(code, blocks, plan, {0, 1})
+        assert np.array_equal(value, blocks[0])
+
+
+class TestClusterIntegration:
+    def test_pentagon_local_roundtrip_with_failures(self):
+        from repro.cluster import ClusterTopology, MiniHDFS, RackAwarePlacement
+        fs = MiniHDFS(ClusterTopology.racked([5, 5, 2]), block_bytes=64,
+                      placement=RackAwarePlacement(), seed=4)
+        rng = np.random.default_rng(9)
+        data = bytes(rng.integers(0, 256, 64 * 18, dtype=np.uint8))
+        fs.write_file("f", data, "pentagon-local")
+        stripe = fs.namenode.file("f").stripes[0]
+        for slot in (0, 1, 2):   # a triangle of group A
+            fs.fail_node(stripe.slot_nodes[slot], permanent=True)
+        fs.repair_all()
+        assert fs.read_file("f") == data

@@ -1,0 +1,116 @@
+"""Tests for the (k+1, k) RAID+mirror comparison scheme."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Code,
+    RaidMirrorCode,
+    UnrecoverableStripeError,
+    execute_read_plan,
+    verify_repair_plan,
+)
+
+
+def blocks_for(code, seed=0, size=32):
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(code.k)]
+    return code.encode(data)
+
+
+class TestLayout:
+    def test_10_9_dimensions_match_table1(self):
+        code = RaidMirrorCode(9)
+        assert code.name == "(10,9) RAID+m"
+        assert code.k == 9
+        assert code.length == 20
+        assert code.total_blocks == 20
+        assert code.storage_overhead == pytest.approx(20 / 9)
+
+    def test_12_11_dimensions_match_table1(self):
+        code = RaidMirrorCode(11)
+        assert code.length == 24
+        assert code.storage_overhead == pytest.approx(24 / 11)
+
+    def test_one_block_per_node(self):
+        assert RaidMirrorCode(9).layout.blocks_per_slot() == (1,) * 20
+
+    def test_mirror_slot_pairing(self):
+        code = RaidMirrorCode(4)
+        assert code.mirror_slot(0) == 1
+        assert code.mirror_slot(7) == 6
+        assert code.symbol_of_slot(8) == 4
+
+    def test_small_k_rejected(self):
+        with pytest.raises(ValueError):
+            RaidMirrorCode(1)
+
+
+class TestFaultTolerance:
+    def test_tolerates_three_failures(self):
+        assert RaidMirrorCode(4).fault_tolerance == 3
+
+    def test_fatal_quadruples_are_mirror_pair_pairs(self):
+        code = RaidMirrorCode(4)
+        fatal = code.fatal_patterns(4)
+        # Fatal = choose 2 of the 5 mirror pairs: C(5,2) = 10 patterns.
+        assert len(fatal) == 10
+        for pattern in fatal:
+            pairs = {slot // 2 for slot in pattern}
+            assert len(pairs) == 2
+
+    def test_closed_form_matches_rank(self):
+        code = RaidMirrorCode(3)  # length 8: exhaustive check is feasible
+        for size in range(1, 6):
+            for subset in itertools.combinations(range(8), size):
+                assert code.can_recover(subset) == Code.can_recover(code, subset)
+
+
+class TestRepair:
+    def test_single_loss_is_mirror_copy(self):
+        code = RaidMirrorCode(9)
+        plan = code.plan_node_repair([4])
+        assert plan.network_blocks == 1
+        assert plan.transfers[0].source_slot == 5
+
+    def test_mirror_pair_loss_costs_k_plus_one_blocks(self):
+        """Both copies of one symbol: XOR of the other k symbols + forward."""
+        code = RaidMirrorCode(9)
+        plan = code.plan_node_repair([2, 3])
+        assert plan.network_blocks == 9 + 1
+
+    def test_repairs_restore_bytes(self):
+        code = RaidMirrorCode(4)
+        blocks = blocks_for(code, seed=3)
+        for failed in ([0], [3], [0, 1], [2, 5], [0, 1, 6], [4, 5, 9]):
+            assert verify_repair_plan(code, blocks, code.plan_node_repair(failed))
+
+    def test_two_pair_loss_raises(self):
+        with pytest.raises(UnrecoverableStripeError):
+            RaidMirrorCode(4).plan_node_repair([0, 1, 2, 3])
+
+
+class TestDegradedRead:
+    def test_costs_k_blocks_when_pair_down(self):
+        """Paper Section 3.1: (10,9) RAID+m needs 9 blocks on the fly."""
+        code = RaidMirrorCode(9)
+        plan = code.plan_degraded_read(0, failed_slots={0, 1})
+        assert plan.network_blocks == 9
+        assert plan.degraded
+
+    def test_returns_correct_bytes(self):
+        code = RaidMirrorCode(5)
+        blocks = blocks_for(code, seed=9)
+        for symbol in range(code.k):
+            failed = set(code.layout.symbols[symbol].replicas)
+            plan = code.plan_degraded_read(symbol, failed)
+            value = execute_read_plan(code, blocks, plan, failed)
+            assert np.array_equal(value, blocks[symbol])
+
+    def test_mirror_alive_is_single_copy(self):
+        code = RaidMirrorCode(9)
+        plan = code.plan_degraded_read(0, failed_slots={0})
+        assert plan.network_blocks == 1
+        assert not plan.degraded

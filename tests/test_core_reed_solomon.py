@@ -1,0 +1,77 @@
+"""Tests for the Reed-Solomon single-copy baseline."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import ReedSolomonCode, SymbolKind, verify_repair_plan
+
+
+def encoded(code, seed=0, size=32):
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(code.k)]
+    return code.encode(data), data
+
+
+class TestLayout:
+    def test_dimensions(self):
+        code = ReedSolomonCode(14, 10)
+        assert code.k == 10
+        assert code.length == 14
+        assert code.total_blocks == 14
+        assert code.storage_overhead == pytest.approx(1.4)
+
+    def test_single_copy_per_symbol(self):
+        code = ReedSolomonCode(9, 6)
+        assert all(s.replica_count == 1 for s in code.layout.symbols)
+
+    def test_systematic_prefix(self):
+        code = ReedSolomonCode(9, 6)
+        for i, symbol in enumerate(code.layout.symbols[:6]):
+            assert symbol.kind is SymbolKind.DATA
+            row = list(symbol.coefficients)
+            assert row[i] == 1 and sum(row) == 1
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(5, 5)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(300, 100)
+
+
+class TestMDSProperty:
+    def test_tolerance_is_n_minus_k(self):
+        assert ReedSolomonCode(9, 6).fault_tolerance == 3
+        assert ReedSolomonCode(6, 4).fault_tolerance == 2
+
+    def test_decode_from_any_k_symbols(self):
+        code = ReedSolomonCode(8, 5)
+        blocks, data = encoded(code, seed=2)
+        for subset in itertools.combinations(range(8), 5):
+            available = {i: blocks[i] for i in subset}
+            decoded = code.decode_data(available)
+            for expected, actual in zip(data, decoded):
+                assert np.array_equal(expected, actual)
+
+    def test_k_minus_one_symbols_insufficient(self):
+        code = ReedSolomonCode(8, 5)
+        assert not code.can_decode_from_symbols(range(4))
+
+
+class TestRepair:
+    def test_single_repair_costs_k_blocks(self):
+        code = ReedSolomonCode(14, 10)
+        plan = code.plan_node_repair([0])
+        assert plan.network_blocks == 10
+
+    def test_repairs_restore_bytes(self):
+        code = ReedSolomonCode(8, 5)
+        blocks, _ = encoded(code, seed=5)
+        for failed in ([0], [7], [0, 1], [2, 6, 7]):
+            assert verify_repair_plan(code, blocks, code.plan_node_repair(failed))
+
+    def test_degraded_read_costs_k_blocks(self):
+        code = ReedSolomonCode(14, 10)
+        plan = code.plan_degraded_read(3, failed_slots={3})
+        assert plan.network_blocks == 10

@@ -1,0 +1,89 @@
+"""Tests for the r-way replication baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Code,
+    ReplicationCode,
+    UnrecoverableStripeError,
+    verify_repair_plan,
+)
+
+
+class TestLayout:
+    @pytest.mark.parametrize("r", [1, 2, 3, 5])
+    def test_dimensions(self, r):
+        code = ReplicationCode(r)
+        assert code.k == 1
+        assert code.length == r
+        assert code.total_blocks == r
+        assert code.storage_overhead == pytest.approx(float(r))
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationCode(0)
+
+    def test_names(self):
+        assert ReplicationCode(2).name == "2-rep"
+        assert ReplicationCode(3).name == "3-rep"
+
+
+class TestFaultTolerance:
+    @pytest.mark.parametrize("r", [1, 2, 3, 4])
+    def test_tolerance_is_r_minus_one(self, r):
+        assert ReplicationCode(r).fault_tolerance == r - 1
+
+    @pytest.mark.parametrize("r", [2, 3])
+    def test_closed_form_matches_rank(self, r):
+        import itertools
+        code = ReplicationCode(r)
+        for size in range(1, r + 1):
+            for subset in itertools.combinations(range(r), size):
+                assert code.can_recover(subset) == Code.can_recover(code, subset)
+
+
+class TestEncodeDecode:
+    def test_encode_is_identity(self):
+        code = ReplicationCode(3)
+        blocks = code.encode([b"\x01\x02\x03"])
+        assert len(blocks) == 1
+        assert list(blocks[0]) == [1, 2, 3]
+
+    def test_decode_from_single_copy(self):
+        code = ReplicationCode(3)
+        decoded = code.decode_data({0: b"\x09\x08"})
+        assert list(decoded[0]) == [9, 8]
+
+
+class TestRepair:
+    def test_single_loss_costs_one_block(self):
+        code = ReplicationCode(3)
+        plan = code.plan_node_repair([1])
+        assert plan.network_blocks == 1
+
+    def test_double_loss_costs_two_blocks(self):
+        code = ReplicationCode(3)
+        plan = code.plan_node_repair([0, 2])
+        assert plan.network_blocks == 2
+        assert all(t.source_slot == 1 for t in plan.transfers)
+
+    def test_repair_restores_bytes(self):
+        code = ReplicationCode(3)
+        blocks = code.encode([np.arange(32, dtype=np.uint8)])
+        for failed in ([0], [1], [0, 1], [1, 2]):
+            assert verify_repair_plan(code, blocks, code.plan_node_repair(failed))
+
+    def test_total_loss_raises(self):
+        with pytest.raises(UnrecoverableStripeError):
+            ReplicationCode(2).plan_node_repair([0, 1])
+
+    def test_degraded_read_none_when_all_copies_down(self):
+        code = ReplicationCode(2)
+        with pytest.raises(UnrecoverableStripeError):
+            code.plan_degraded_read(0, failed_slots={0, 1})
+
+    def test_remote_read_costs_one_block(self):
+        code = ReplicationCode(2)
+        plan = code.plan_degraded_read(0, failed_slots={0})
+        assert plan.network_blocks == 1

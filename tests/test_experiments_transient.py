@@ -1,0 +1,83 @@
+"""Tests for the transient-failure / repair-timeout experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import transient
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transient.TransientModel(node_count=0)
+        with pytest.raises(ValueError):
+            transient.TransientModel(mean_outage_hours=0)
+
+
+class TestCostProfiles:
+    def test_double_replication_codes_rebuild_at_unit_cost(self):
+        for code in ("2-rep", "3-rep", "pentagon", "heptagon"):
+            profile = transient.RepairCostProfile.for_code(code)
+            assert profile.rebuild_blocks_per_lost_block == pytest.approx(1.0)
+
+    def test_rs_rebuild_multiplier_is_k(self):
+        profile = transient.RepairCostProfile.for_code("rs(14,10)")
+        assert profile.rebuild_blocks_per_lost_block == pytest.approx(10.0)
+
+    def test_degraded_read_costs(self):
+        assert transient.RepairCostProfile.for_code("pentagon").degraded_read_blocks == 3
+        assert transient.RepairCostProfile.for_code("rs(14,10)").degraded_read_blocks == 10
+        assert transient.RepairCostProfile.for_code("2-rep").degraded_read_blocks is None
+
+
+class TestSimulation:
+    def test_deterministic_with_seed(self):
+        model = transient.TransientModel(horizon_hours=24 * 30)
+        first = transient.simulate_timeout_policy(
+            "pentagon", 1.0, model, np.random.default_rng(3))
+        second = transient.simulate_timeout_policy(
+            "pentagon", 1.0, model, np.random.default_rng(3))
+        assert first == second
+
+    def test_zero_like_timeout_repairs_everything(self):
+        model = transient.TransientModel(horizon_hours=24 * 30)
+        outcome = transient.simulate_timeout_policy(
+            "2-rep", 1e-9, model, np.random.default_rng(4))
+        assert outcome.repairs_triggered == outcome.outages
+
+    def test_huge_timeout_repairs_nothing(self):
+        model = transient.TransientModel(horizon_hours=24 * 30)
+        outcome = transient.simulate_timeout_policy(
+            "2-rep", 1e6, model, np.random.default_rng(4))
+        assert outcome.repairs_triggered == 0
+        assert outcome.repair_gb == 0.0
+
+    def test_exposure_grows_with_timeout(self):
+        model = transient.TransientModel(horizon_hours=24 * 90)
+        short = transient.simulate_timeout_policy(
+            "pentagon", 0.1, model, np.random.default_rng(5))
+        long = transient.simulate_timeout_policy(
+            "pentagon", 10.0, model, np.random.default_rng(5))
+        assert long.degraded_read_exposure_hours > short.degraded_read_exposure_hours
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return transient.timeout_sweep(
+            model=transient.TransientModel(horizon_hours=24 * 180))
+
+    def test_all_shape_checks_pass(self, rows):
+        checks = transient.shape_checks(rows)
+        assert all(checks.values()), checks
+
+    def test_same_outage_stream_across_codes(self, rows):
+        by = {(r.code, r.timeout_hours): r for r in rows}
+        assert (by[("2-rep", 1.0)].outages
+                == by[("pentagon", 1.0)].outages
+                == by[("rs(14,10)", 1.0)].outages)
+
+    def test_rows_render(self, rows):
+        from repro.experiments import render_table
+        text = render_table(transient.HEADERS, [r.as_list() for r in rows])
+        assert "pentagon" in text and "timeout" in text

@@ -1,0 +1,216 @@
+"""Tests for GF(2^8) linear algebra (rank, solve, invert, structured matrices)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import (
+    SingularMatrixError,
+    cauchy,
+    invert,
+    matmul,
+    matrix_rank,
+    row_echelon,
+    solve,
+    vandermonde,
+)
+
+
+def random_matrix(rng, rows, cols):
+    return rng.integers(0, 256, size=(rows, cols), dtype=np.uint8)
+
+
+class TestRowEchelon:
+    def test_identity_is_fixed_point(self):
+        identity = np.eye(4, dtype=np.uint8)
+        reduced, pivots = row_echelon(identity)
+        assert np.array_equal(reduced, identity)
+        assert pivots == [0, 1, 2, 3]
+
+    def test_zero_matrix_has_no_pivots(self):
+        reduced, pivots = row_echelon(np.zeros((3, 3), dtype=np.uint8))
+        assert pivots == []
+        assert not reduced.any()
+
+    def test_dependent_rows_detected(self):
+        matrix = np.array([[1, 2, 3], [1, 2, 3], [0, 1, 1]], dtype=np.uint8)
+        assert matrix_rank(matrix) == 2
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            row_echelon(np.zeros(3, dtype=np.uint8))
+
+
+class TestRank:
+    def test_vandermonde_full_rank(self):
+        assert matrix_rank(vandermonde(5, 5)) == 5
+
+    def test_rank_bounded_by_shape(self):
+        rng = np.random.default_rng(3)
+        matrix = random_matrix(rng, 7, 4)
+        assert matrix_rank(matrix) <= 4
+
+    def test_xor_parity_rows(self):
+        # k unit rows plus the all-ones row: rank k (parity is dependent).
+        k = 6
+        matrix = np.vstack([np.eye(k, dtype=np.uint8), np.ones((1, k), dtype=np.uint8)])
+        assert matrix_rank(matrix) == k
+
+
+class TestIndependentRows:
+    def test_identity_rows(self):
+        from repro.gf import independent_rows
+        matrix = np.eye(4, dtype=np.uint8)
+        assert independent_rows(matrix) == [0, 1, 2, 3]
+
+    def test_skips_dependent_rows(self):
+        from repro.gf import independent_rows
+        matrix = np.array([
+            [1, 0, 0],
+            [2, 0, 0],        # multiple of row 0
+            [0, 1, 0],
+            [1, 1, 0],        # row0 + row2
+            [0, 0, 7],
+        ], dtype=np.uint8)
+        assert independent_rows(matrix) == [0, 2, 4]
+
+    def test_limit_stops_early(self):
+        from repro.gf import independent_rows
+        matrix = np.eye(5, dtype=np.uint8)
+        assert independent_rows(matrix, limit=2) == [0, 1]
+
+    def test_zero_rows_ignored(self):
+        from repro.gf import independent_rows
+        matrix = np.zeros((3, 3), dtype=np.uint8)
+        matrix[1] = [0, 5, 0]
+        assert independent_rows(matrix) == [1]
+
+    def test_matches_rank(self):
+        from repro.gf import independent_rows
+        rng = np.random.default_rng(17)
+        for _ in range(20):
+            matrix = rng.integers(0, 4, size=(6, 4), dtype=np.uint8)
+            chosen = independent_rows(matrix)
+            assert len(chosen) == matrix_rank(matrix)
+            assert matrix_rank(matrix[chosen]) == len(chosen)
+
+
+class TestSolve:
+    def test_solve_identity(self):
+        rhs = np.array([9, 8, 7], dtype=np.uint8)
+        assert np.array_equal(solve(np.eye(3, dtype=np.uint8), rhs), rhs)
+
+    def test_solve_roundtrip_random(self):
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            matrix = random_matrix(rng, 5, 5)
+            if matrix_rank(matrix) < 5:
+                continue
+            x = rng.integers(0, 256, 5, dtype=np.uint8)
+            rhs = matmul(matrix, x[:, None])[:, 0]
+            assert np.array_equal(solve(matrix, rhs), x)
+
+    def test_solve_matrix_rhs(self):
+        matrix = vandermonde(4, 4)
+        unknowns = np.arange(12, dtype=np.uint8).reshape(4, 3)
+        rhs = matmul(matrix, unknowns)
+        assert np.array_equal(solve(matrix, rhs), unknowns)
+
+    def test_overdetermined_consistent(self):
+        matrix = np.vstack([np.eye(3, dtype=np.uint8), np.ones((1, 3), dtype=np.uint8)])
+        x = np.array([1, 2, 3], dtype=np.uint8)
+        rhs = matmul(matrix, x[:, None])[:, 0]
+        assert np.array_equal(solve(matrix, rhs), x)
+
+    def test_underdetermined_raises(self):
+        with pytest.raises(SingularMatrixError):
+            solve(np.array([[1, 1]], dtype=np.uint8), np.array([5], dtype=np.uint8))
+
+    def test_inconsistent_raises(self):
+        matrix = np.array([[1, 0], [1, 0]], dtype=np.uint8)
+        with pytest.raises(SingularMatrixError):
+            solve(matrix, np.array([1, 2], dtype=np.uint8))
+
+    def test_rhs_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            solve(np.eye(2, dtype=np.uint8), np.array([1, 2, 3], dtype=np.uint8))
+
+
+class TestInvert:
+    def test_invert_vandermonde(self):
+        matrix = vandermonde(4, 4)
+        inverse = invert(matrix)
+        assert np.array_equal(matmul(matrix, inverse), np.eye(4, dtype=np.uint8))
+
+    def test_invert_singular_raises(self):
+        with pytest.raises(SingularMatrixError):
+            invert(np.ones((2, 2), dtype=np.uint8))
+
+    def test_invert_non_square_raises(self):
+        with pytest.raises(ValueError):
+            invert(np.ones((2, 3), dtype=np.uint8))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_invert_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = random_matrix(rng, 4, 4)
+        try:
+            inverse = invert(matrix)
+        except SingularMatrixError:
+            assert matrix_rank(matrix) < 4
+            return
+        assert np.array_equal(matmul(inverse, matrix), np.eye(4, dtype=np.uint8))
+
+
+class TestStructuredMatrices:
+    def test_vandermonde_entries(self):
+        matrix = vandermonde(3, 3, generators=[1, 2, 3])
+        assert matrix[0, 0] == 1 and matrix[1, 1] == 2
+        assert matrix[2, 2] == 5  # 3*3 = (x+1)^2 = x^2+1 = 5
+
+    def test_vandermonde_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            vandermonde(2, 2, generators=[7, 7])
+
+    def test_vandermonde_square_submatrices_invertible(self):
+        # Vandermonde rows with powers 0..2: any 3 rows are invertible.
+        matrix = vandermonde(6, 3)
+        import itertools
+        for rows in itertools.combinations(range(6), 3):
+            assert matrix_rank(matrix[list(rows)]) == 3
+
+    def test_cauchy_all_square_submatrices_invertible(self):
+        matrix = cauchy(row_points=[10, 11, 12], col_points=[0, 1, 2, 3])
+        import itertools
+        for size in (1, 2, 3):
+            for rows in itertools.combinations(range(3), size):
+                for cols in itertools.combinations(range(4), size):
+                    sub = matrix[np.ix_(rows, cols)]
+                    assert matrix_rank(sub) == size
+
+    def test_cauchy_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            cauchy([1, 2], [2, 3])
+
+    def test_cauchy_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            cauchy([1, 1], [2, 3])
+
+
+class TestMatmul:
+    def test_matches_manual_combination(self):
+        a = np.array([[1, 2], [0, 3]], dtype=np.uint8)
+        b = np.array([[5, 0], [7, 1]], dtype=np.uint8)
+        out = matmul(a, b)
+        from repro.gf import gf_add, gf_mul
+        expected = np.array([
+            [gf_add(gf_mul(1, 5), gf_mul(2, 7)), gf_mul(2, 1)],
+            [gf_mul(3, 7), gf_mul(3, 1)],
+        ], dtype=np.uint8)
+        assert np.array_equal(out, expected)
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            matmul(np.ones((2, 3), dtype=np.uint8), np.ones((2, 2), dtype=np.uint8))

@@ -1,0 +1,83 @@
+"""Tests for polynomial arithmetic over GF(2^8)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf import (
+    gf_add,
+    gf_mul,
+    lagrange_interpolate,
+    poly_add,
+    poly_eval,
+    poly_mul,
+    poly_scale,
+)
+
+coefficient_lists = st.lists(st.integers(0, 255), min_size=1, max_size=6)
+elements = st.integers(0, 255)
+
+
+class TestEval:
+    def test_constant(self):
+        assert poly_eval([42], 17) == 42
+
+    def test_linear(self):
+        # p(x) = 3 + 2x at x=5 -> 3 ^ (2*5)
+        assert poly_eval([3, 2], 5) == gf_add(3, gf_mul(2, 5))
+
+    def test_empty_polynomial_is_zero(self):
+        assert poly_eval([], 9) == 0
+
+    @given(coefficient_lists)
+    def test_eval_at_zero_gives_constant(self, coefficients):
+        assert poly_eval(coefficients, 0) == coefficients[0]
+
+
+class TestArithmetic:
+    def test_add_pads_shorter(self):
+        assert poly_add([1], [0, 2]) == [1, 2]
+
+    def test_scale(self):
+        assert poly_scale([1, 1], 3) == [3, 3]
+
+    def test_mul_degrees(self):
+        product = poly_mul([1, 1], [1, 1])  # (1+x)^2 = 1 + x^2 in char 2
+        assert product == [1, 0, 1]
+
+    def test_mul_with_empty(self):
+        assert poly_mul([], [1, 2]) == []
+
+    @given(coefficient_lists, coefficient_lists, elements)
+    def test_mul_is_pointwise_product(self, a, b, x):
+        assert poly_eval(poly_mul(a, b), x) == gf_mul(poly_eval(a, x), poly_eval(b, x))
+
+    @given(coefficient_lists, coefficient_lists, elements)
+    def test_add_is_pointwise_sum(self, a, b, x):
+        assert poly_eval(poly_add(a, b), x) == gf_add(poly_eval(a, x), poly_eval(b, x))
+
+
+class TestInterpolation:
+    def test_roundtrip(self):
+        coefficients = [7, 1, 3]
+        points = [(x, poly_eval(coefficients, x)) for x in (1, 2, 3)]
+        assert lagrange_interpolate(points) == coefficients
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(ValueError):
+            lagrange_interpolate([(1, 2), (1, 3)])
+
+    def test_single_point(self):
+        assert lagrange_interpolate([(5, 99)]) == [99]
+
+    @given(st.integers(0, 100))
+    def test_random_roundtrip(self, seed):
+        import numpy as np
+        rng = np.random.default_rng(seed)
+        degree = int(rng.integers(1, 5))
+        coefficients = [int(c) for c in rng.integers(0, 256, degree + 1)]
+        while len(coefficients) > 1 and coefficients[-1] == 0:
+            coefficients.pop()
+        xs = list(rng.choice(255, size=len(coefficients), replace=False) + 1)
+        points = [(int(x), poly_eval(coefficients, int(x))) for x in xs]
+        assert lagrange_interpolate(points) == coefficients

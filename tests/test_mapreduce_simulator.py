@@ -1,0 +1,152 @@
+"""Tests for the discrete-event MapReduce simulator."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import (
+    MiB,
+    MRSimConfig,
+    MapReduceSimulator,
+    run_terasort,
+    run_terasort_once,
+    setup1,
+    setup2,
+)
+from repro.scheduling import Task
+
+
+def tiny_config(**overrides):
+    base = MRSimConfig(
+        node_count=4, map_slots=2, block_bytes=64 * MiB,
+        map_mean_s=10.0, map_sigma_s=0.5, heartbeat_s=1.0, delay_s=3.0,
+        reduce_base_s=2.0,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+class TestConfig:
+    def test_presets_match_paper_setups(self):
+        cfg1 = setup1()
+        assert (cfg1.node_count, cfg1.map_slots, cfg1.reduce_slots) == (25, 2, 1)
+        assert cfg1.block_bytes == 128 * MiB
+        cfg2 = setup2()
+        assert (cfg2.node_count, cfg2.map_slots, cfg2.reduce_slots) == (9, 4, 2)
+        assert cfg2.block_bytes == 512 * MiB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MRSimConfig(node_count=0)
+        with pytest.raises(ValueError):
+            MRSimConfig(shuffle_overlap=1.5)
+        with pytest.raises(ValueError):
+            MRSimConfig(tasks_per_heartbeat=0)
+
+    def test_total_map_slots(self):
+        assert setup1().total_map_slots == 50
+
+
+class TestSimulator:
+    def test_empty_job(self):
+        result = MapReduceSimulator(tiny_config()).run([], np.random.default_rng(0))
+        assert result.job_time_s == 0.0
+        assert result.task_count == 0
+
+    def test_all_local_job(self):
+        config = tiny_config()
+        tasks = [Task(i, 0, (i % 4,)) for i in range(8)]
+        result = MapReduceSimulator(config).run(tasks, np.random.default_rng(1))
+        assert result.locality_percent == 100.0
+        assert result.remote_tasks == 0
+        assert result.map_input_traffic_bytes == 0
+        # Two waves of ~10s maps plus heartbeat ramp and reduce tail.
+        assert 10.0 < result.job_time_s < 30.0
+
+    def test_forced_remote_job(self):
+        # All blocks on node 0 (2 slots); 6 tasks force 4 remote runs.
+        config = tiny_config()
+        tasks = [Task(i, 0, (0,)) for i in range(6)]
+        result = MapReduceSimulator(config).run(tasks, np.random.default_rng(2))
+        assert result.remote_tasks >= 2
+        assert result.map_input_traffic_bytes == result.remote_tasks * config.block_bytes
+
+    def test_remote_tasks_slower(self):
+        config = tiny_config()
+        local = MapReduceSimulator(config).run(
+            [Task(0, 0, (0,))], np.random.default_rng(3))
+        remote_task = [Task(0, 0, (1,)), Task(1, 0, (1,)),
+                       Task(2, 0, (1,))]   # node 1 has 2 slots; 1 goes remote
+        remote = MapReduceSimulator(config).run(
+            remote_task, np.random.default_rng(3))
+        assert remote.job_time_s > local.job_time_s
+
+    def test_seed_reproducibility(self):
+        config = tiny_config()
+        tasks = [Task(i, 0, (i % 4, (i + 1) % 4)) for i in range(8)]
+        first = MapReduceSimulator(config).run(tasks, np.random.default_rng(7))
+        second = MapReduceSimulator(config).run(tasks, np.random.default_rng(7))
+        assert first == second
+
+    def test_task_outside_cluster_rejected(self):
+        config = tiny_config()
+        with pytest.raises(ValueError):
+            MapReduceSimulator(config).run(
+                [Task(0, 0, (99,))], np.random.default_rng(0))
+
+    def test_overload_runs_in_waves(self):
+        """More tasks than slots must still complete (multiple waves)."""
+        config = tiny_config()
+        tasks = [Task(i, 0, (i % 4,)) for i in range(24)]   # 3 waves
+        result = MapReduceSimulator(config).run(tasks, np.random.default_rng(4))
+        assert result.task_count == 24
+        assert result.local_tasks + result.remote_tasks == 24
+        assert result.job_time_s > 30.0   # at least 3 waves of 10s
+
+    def test_shuffle_accounting(self):
+        config = tiny_config(count_shuffle_in_traffic=True)
+        tasks = [Task(i, 0, (i % 4,)) for i in range(4)]
+        result = MapReduceSimulator(config).run(tasks, np.random.default_rng(5))
+        assert result.shuffle_traffic_bytes == 4 * config.block_bytes
+        assert result.map_input_traffic_bytes >= result.shuffle_traffic_bytes
+
+    def test_delay_improves_locality(self):
+        """More patience -> no worse locality on a contended workload."""
+        from repro.workloads import workload_for_load
+        impatient = tiny_config(delay_s=0.0, node_count=25)
+        patient = tiny_config(delay_s=30.0, node_count=25)
+        totals = {"impatient": 0.0, "patient": 0.0}
+        for seed in range(5):
+            tasks = workload_for_load("pentagon", 100, 25, 2,
+                                      np.random.default_rng(seed))
+            totals["impatient"] += MapReduceSimulator(impatient).run(
+                tasks, np.random.default_rng(seed + 100)).locality_percent
+            totals["patient"] += MapReduceSimulator(patient).run(
+                tasks, np.random.default_rng(seed + 100)).locality_percent
+        assert totals["patient"] >= totals["impatient"]
+
+
+class TestTerasort:
+    def test_single_run(self):
+        result = run_terasort_once("pentagon", 50.0, tiny_config(node_count=25),
+                                   np.random.default_rng(0))
+        assert result.task_count == 25
+        assert 0 <= result.locality_percent <= 100
+
+    def test_averaged_stats(self):
+        stats = run_terasort("2-rep", 50.0, tiny_config(node_count=25), runs=3)
+        assert stats.runs == 3
+        assert stats.job_time_s > 0
+        assert stats.code_name == "2-rep"
+        row = stats.as_row()
+        assert row["load %"] == 50.0
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ValueError):
+            run_terasort("2-rep", 50.0, tiny_config(), runs=0)
+
+    def test_traffic_gb_property(self):
+        from repro.mapreduce import JobResult
+        result = JobResult(10.0, 8.0, 90.0, 9, 1, 2**30, 2**30, 10)
+        assert result.traffic_gb == pytest.approx(1.0)
+        assert result.total_traffic_gb == pytest.approx(2.0)

@@ -1,0 +1,164 @@
+"""Tests for the RaidNode lifecycle and the multi-job workload driver."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterTopology,
+    MiniHDFS,
+    RaidNode,
+    RaidPolicy,
+)
+from repro.mapreduce import (
+    MiB,
+    MRSimConfig,
+    poisson_job_stream,
+    run_job_stream,
+    sustained_load_sweep,
+)
+
+BLOCK = 256
+
+
+def fresh_fs(node_count=25, seed=0):
+    return MiniHDFS(ClusterTopology.flat(node_count), block_bytes=BLOCK,
+                    seed=seed)
+
+
+def payload(blocks, seed=1):
+    rng = np.random.default_rng(seed)
+    return bytes(rng.integers(0, 256, BLOCK * blocks, dtype=np.uint8))
+
+
+class TestRaidNode:
+    def test_raid_file_reclaims_space(self):
+        """3-rep -> pentagon conversion saves (3.0 - 2.22) x data bytes."""
+        fs = fresh_fs()
+        data = payload(9)
+        fs.write_file("warehouse/t1", data, "3-rep")
+        raid = RaidNode(fs)
+        reclaimed = raid.raid_file("warehouse/t1", "pentagon")
+        assert reclaimed == (27 - 20) * BLOCK
+        assert fs.namenode.file("warehouse/t1").code_name == "pentagon"
+        assert fs.read_file("warehouse/t1") == data
+
+    def test_raid_is_idempotent(self):
+        fs = fresh_fs()
+        fs.write_file("f", payload(9), "pentagon")
+        assert RaidNode(fs).raid_file("f", "pentagon") == 0
+
+    def test_old_blocks_deleted(self):
+        fs = fresh_fs()
+        fs.write_file("f", payload(9), "3-rep")
+        stored_before = fs.stored_bytes()
+        RaidNode(fs).raid_file("f", "pentagon")
+        assert fs.stored_bytes() == stored_before - 7 * BLOCK
+
+    def test_policy_table(self):
+        raid = RaidNode(fresh_fs(), [
+            RaidPolicy("warehouse/", "pentagon"),
+            RaidPolicy("archive/", "rs(14,10)"),
+        ])
+        assert raid.policy_for("warehouse/t1").target_code == "pentagon"
+        assert raid.policy_for("archive/x").target_code == "rs(14,10)"
+        assert raid.policy_for("tmp/scratch") is None
+
+    def test_raid_all_applies_policies(self):
+        fs = fresh_fs()
+        contents = {
+            "warehouse/a": payload(9, seed=2),
+            "warehouse/b": payload(18, seed=3),
+            "tmp/scratch": payload(2, seed=4),
+        }
+        for name, data in contents.items():
+            fs.write_file(name, data, "3-rep")
+        raid = RaidNode(fs, [RaidPolicy("warehouse/", "pentagon")])
+        report = raid.raid_all()
+        assert sorted(report.raided) == ["warehouse/a", "warehouse/b"]
+        assert report.skipped == ["tmp/scratch"]
+        assert report.bytes_reclaimed == (27 - 20) * BLOCK * 3  # 3 stripes
+        assert raid.verify_all(contents)
+
+    def test_min_replication_guard(self):
+        fs = fresh_fs()
+        fs.write_file("warehouse/hot", payload(9), "2-rep")
+        raid = RaidNode(fs, [
+            RaidPolicy("warehouse/", "pentagon", min_replication_to_raid=3),
+        ])
+        report = raid.raid_all()
+        assert report.raided == []
+        assert fs.namenode.file("warehouse/hot").code_name == "2-rep"
+
+    def test_missing_block_report_and_fix(self):
+        fs = fresh_fs()
+        data = payload(9, seed=5)
+        fs.write_file("f", data, "pentagon")
+        raid = RaidNode(fs)
+        assert raid.missing_block_report() == {}
+        stripe = fs.namenode.file("f").stripes[0]
+        fs.fail_node(stripe.slot_nodes[0], permanent=True)
+        report = raid.missing_block_report()
+        assert report == {"f": 4}
+        fixed = raid.scan_and_fix()
+        assert fixed.stripes_fixed == 1
+        assert fixed.repair_bytes == 4 * BLOCK
+        assert fs.read_file("f") == data
+
+    def test_scan_with_no_failures_is_noop(self):
+        fs = fresh_fs()
+        fs.write_file("f", payload(9), "pentagon")
+        report = RaidNode(fs).scan_and_fix()
+        assert report.repair_bytes == 0
+
+    def test_raid_through_degraded_read(self):
+        """Raiding works even while a replica is down (degraded read path)."""
+        fs = fresh_fs()
+        data = payload(9, seed=6)
+        fs.write_file("f", data, "3-rep")
+        stripe = fs.namenode.file("f").stripes[0]
+        fs.fail_node(stripe.slot_nodes[0])
+        RaidNode(fs).raid_file("f", "pentagon")
+        assert fs.read_file("f") == data
+
+
+class TestMultiJob:
+    CONFIG = MRSimConfig(node_count=25, map_slots=2, block_bytes=64 * MiB,
+                         map_mean_s=20.0, map_sigma_s=1.0, heartbeat_s=1.0,
+                         delay_s=3.0, reduce_base_s=2.0)
+
+    def test_poisson_stream_shapes(self):
+        rng = np.random.default_rng(0)
+        jobs = poisson_job_stream(rng, 10, 30.0, 25)
+        assert len(jobs) == 10
+        arrivals = [j.arrival_s for j in jobs]
+        assert arrivals == sorted(arrivals)
+        with pytest.raises(ValueError):
+            poisson_job_stream(rng, 0, 30.0, 25)
+
+    def test_stream_accumulates_queueing(self):
+        rng = np.random.default_rng(1)
+        # Back-to-back arrivals: later jobs must wait.
+        jobs = [poisson_job_stream(rng, 1, 1.0, 25)[0] for _ in range(4)]
+        result = run_job_stream("2-rep", jobs, self.CONFIG,
+                                np.random.default_rng(2))
+        assert result.jobs == 4
+        assert result.mean_wait_s > 0
+        assert result.makespan_s > result.mean_job_time_s
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            run_job_stream("2-rep", [], self.CONFIG, np.random.default_rng(0))
+
+    def test_sustained_load_sweep_orderings(self):
+        rows = sustained_load_sweep(("2-rep", "heptagon"), self.CONFIG,
+                                    utilisations=(0.5, 0.9), job_count=6)
+        by = {(r["code"], r["utilisation"]): r for r in rows}
+        for u in (0.5, 0.9):
+            # Coded scheme keeps lower locality at every utilisation...
+            assert (by[("heptagon", u)]["locality %"]
+                    <= by[("2-rep", u)]["locality %"] + 1.0)
+            # ...which stretches its jobs (the queueing itself is too
+            # noisy to order with 6 Poisson arrivals per cell).
+            assert (by[("heptagon", u)]["job time (s)"]
+                    > by[("2-rep", u)]["job time (s)"])
+            assert by[("heptagon", u)]["queue wait (s)"] >= 0.0

@@ -1,0 +1,158 @@
+"""Tests for the per-code reliability chains and system scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_code
+from repro.reliability import (
+    ReliabilityParams,
+    brute_force_chain,
+    calibrate_mttf,
+    conservative_chain,
+    group_count,
+    group_model,
+    group_mttdl_years,
+    heptagon_local_chain,
+    polygon_chain,
+    raid_mirror_chain,
+    relative_error,
+    replication_chain,
+    simulate_group_mttd,
+    system_mttdl_years,
+)
+
+#: Accelerated rates so brute-force and Monte-Carlo runs stay fast.
+FAST = ReliabilityParams(node_mttf_hours=100.0, node_mttr_hours=10.0)
+
+
+class TestParams:
+    def test_rates(self):
+        params = ReliabilityParams(node_mttf_hours=100, node_mttr_hours=4)
+        assert params.failure_rate == pytest.approx(0.01)
+        assert params.repair_rate == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityParams(node_mttf_hours=0)
+        with pytest.raises(ValueError):
+            ReliabilityParams(repair="magic")
+
+    def test_effective_repair_rate(self):
+        parallel = ReliabilityParams(node_mttr_hours=10, repair="parallel")
+        serial = ReliabilityParams(node_mttr_hours=10, repair="serial")
+        assert parallel.effective_repair_rate(3) == pytest.approx(0.3)
+        assert serial.effective_repair_rate(3) == pytest.approx(0.1)
+        assert parallel.effective_repair_rate(0) == 0.0
+
+
+class TestChainsAgainstBruteForce:
+    """The symmetry-reduced chains must match exact subset chains."""
+
+    @pytest.mark.parametrize("code_name,builder,start", [
+        ("3-rep", lambda p: replication_chain(3, p), 0),
+        ("2-rep", lambda p: replication_chain(2, p), 0),
+        ("pentagon", lambda p: polygon_chain(5, p), 0),
+        ("heptagon", lambda p: polygon_chain(7, p), 0),
+        ("(4,3) RAID+m", lambda p: raid_mirror_chain(3, p), (0, 0)),
+        ("heptagon-local", heptagon_local_chain, (0, 0, 0)),
+    ])
+    def test_reduced_equals_brute_force(self, code_name, builder, start):
+        code = make_code(code_name)
+        reduced = builder(FAST).mean_time_to_absorption(start)
+        exact = brute_force_chain(code, FAST).mean_time_to_absorption(frozenset())
+        assert relative_error(reduced, exact) < 1e-9
+
+    def test_serial_repair_variant_agrees_for_replication(self):
+        params = ReliabilityParams(node_mttf_hours=100, node_mttr_hours=10,
+                                   repair="serial")
+        reduced = replication_chain(3, params).mean_time_to_absorption(0)
+        exact = brute_force_chain(
+            make_code("3-rep"), params).mean_time_to_absorption(frozenset())
+        assert relative_error(reduced, exact) < 1e-9
+
+
+class TestMonteCarloAgreement:
+    @pytest.mark.parametrize("code_name,start", [
+        ("3-rep", 0),
+        ("pentagon", 0),
+        ("(4,3) RAID+m", (0, 0)),
+    ])
+    def test_node_level_simulation_matches_chain(self, code_name, start):
+        model = group_model(code_name, FAST)
+        expected = model.mttdl_hours()
+        measured = simulate_group_mttd(
+            make_code(code_name), FAST, np.random.default_rng(1), trials=800)
+        assert relative_error(measured, expected) < 0.15
+
+
+class TestOrderings:
+    """Structural facts that must hold for any sane parameters."""
+
+    PARAMS = ReliabilityParams(node_mttf_hours=50_000, node_mttr_hours=24)
+
+    def test_heptagon_below_pentagon_below_three_rep(self):
+        pentagon = system_mttdl_years("pentagon", self.PARAMS)
+        heptagon = system_mttdl_years("heptagon", self.PARAMS)
+        three_rep = system_mttdl_years("3-rep", self.PARAMS)
+        assert heptagon < pentagon < three_rep
+
+    def test_heptagon_local_beats_plain_heptagon_by_orders(self):
+        local = system_mttdl_years("heptagon-local", self.PARAMS)
+        plain = system_mttdl_years("heptagon", self.PARAMS)
+        assert local > 100 * plain
+
+    def test_two_rep_far_below_three_rep(self):
+        assert (system_mttdl_years("2-rep", self.PARAMS)
+                < 1e-2 * system_mttdl_years("3-rep", self.PARAMS))
+
+    def test_conservative_never_exceeds_pattern(self):
+        for code_name in ("pentagon", "heptagon-local", "(10,9) RAID+m"):
+            pattern = system_mttdl_years(code_name, self.PARAMS, model="pattern")
+            conservative = system_mttdl_years(
+                code_name, self.PARAMS, model="conservative")
+            assert conservative <= pattern * (1 + 1e-9)
+
+    def test_conservative_equals_pattern_for_polygon(self):
+        """Every 3-failure is fatal for polygons, so the models coincide."""
+        pattern = group_mttdl_years("pentagon", self.PARAMS, model="pattern")
+        conservative = group_mttdl_years("pentagon", self.PARAMS,
+                                         model="conservative")
+        assert pattern == pytest.approx(conservative, rel=1e-9)
+
+    def test_longer_mttf_improves_mttdl(self):
+        better = ReliabilityParams(node_mttf_hours=100_000, node_mttr_hours=24)
+        assert (system_mttdl_years("pentagon", better)
+                > system_mttdl_years("pentagon", self.PARAMS))
+
+
+class TestSystemScaling:
+    def test_group_counts_for_25_nodes(self):
+        assert group_count("3-rep", 25) == 8
+        assert group_count("pentagon", 25) == 5
+        assert group_count("heptagon", 25) == 3
+        assert group_count("heptagon-local", 25) == 1
+        assert group_count("(10,9) RAID+m", 25) == 1
+        assert group_count("(12,11) RAID+m", 25) == 1  # clamped to >= 1
+
+    def test_system_is_group_over_count(self):
+        params = self.params = ReliabilityParams(node_mttf_hours=50_000)
+        group = group_mttdl_years("pentagon", params)
+        system = system_mttdl_years("pentagon", params, node_count=25)
+        assert system == pytest.approx(group / 5)
+
+
+class TestCalibration:
+    def test_anchor_hits_target(self):
+        params = calibrate_mttf(1.20e9, anchor="3-rep", node_count=25)
+        measured = system_mttdl_years("3-rep", params, node_count=25)
+        assert measured == pytest.approx(1.20e9, rel=1e-3)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_mttf(1e30, anchor="3-rep")
+
+    def test_preserves_repair_settings(self):
+        base = ReliabilityParams(node_mttr_hours=12.0, repair="serial")
+        params = calibrate_mttf(1e8, anchor="3-rep", base=base)
+        assert params.node_mttr_hours == 12.0
+        assert params.repair == "serial"

@@ -1,0 +1,124 @@
+"""Tests for the Dinic max-flow engine and matching counts."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import FlowNetwork, Task, maximum_matching_count
+
+
+class TestFlowNetwork:
+    def test_single_edge(self):
+        network = FlowNetwork(2)
+        network.add_edge(0, 1, 5)
+        assert network.max_flow(0, 1) == 5
+
+    def test_series_bottleneck(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 10)
+        network.add_edge(1, 2, 3)
+        assert network.max_flow(0, 2) == 3
+
+    def test_parallel_paths(self):
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 2)
+        network.add_edge(0, 2, 2)
+        network.add_edge(1, 3, 2)
+        network.add_edge(2, 3, 2)
+        assert network.max_flow(0, 3) == 4
+
+    def test_classic_augmenting_path_case(self):
+        # Diamond with a cross edge: requires flow cancellation.
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 1)
+        network.add_edge(0, 2, 1)
+        network.add_edge(1, 2, 1)
+        network.add_edge(1, 3, 1)
+        network.add_edge(2, 3, 1)
+        assert network.max_flow(0, 3) == 2
+
+    def test_disconnected_is_zero(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 4)
+        assert network.max_flow(0, 2) == 0
+
+    def test_flow_on_edge(self):
+        network = FlowNetwork(2)
+        edge = network.add_edge(0, 1, 7)
+        network.max_flow(0, 1)
+        assert network.flow_on(edge) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(0)
+        network = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            network.add_edge(0, 5, 1)
+        with pytest.raises(ValueError):
+            network.add_edge(0, 1, -1)
+        with pytest.raises(ValueError):
+            network.max_flow(1, 1)
+
+    def test_against_networkx_on_random_graphs(self):
+        networkx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(5)
+        for trial in range(15):
+            vertex_count = int(rng.integers(4, 12))
+            graph = networkx.DiGraph()
+            network = FlowNetwork(vertex_count)
+            for _ in range(int(rng.integers(5, 30))):
+                u, v = rng.integers(0, vertex_count, 2)
+                if u == v:
+                    continue
+                capacity = int(rng.integers(1, 10))
+                network.add_edge(int(u), int(v), capacity)
+                if graph.has_edge(int(u), int(v)):
+                    graph[int(u)][int(v)]["capacity"] += capacity
+                else:
+                    graph.add_edge(int(u), int(v), capacity=capacity)
+            graph.add_nodes_from(range(vertex_count))
+            expected = networkx.maximum_flow_value(graph, 0, vertex_count - 1) \
+                if graph.has_node(0) and graph.has_node(vertex_count - 1) else 0
+            assert network.max_flow(0, vertex_count - 1) == expected
+
+
+class TestMatchingCount:
+    def test_empty(self):
+        assert maximum_matching_count([], 5, 2) == 0
+
+    def test_perfect_matching(self):
+        tasks = [Task(i, 0, (i,)) for i in range(4)]
+        assert maximum_matching_count(tasks, 4, 1) == 4
+
+    def test_capacity_limits_matching(self):
+        # 5 tasks all pointing at one node with 2 slots.
+        tasks = [Task(i, 0, (0,)) for i in range(5)]
+        assert maximum_matching_count(tasks, 1, 2) == 2
+
+    def test_two_replicas_avoid_contention(self):
+        # Each task on nodes (i, i+1): chain admits a full matching.
+        tasks = [Task(i, 0, (i, i + 1)) for i in range(4)]
+        assert maximum_matching_count(tasks, 5, 1) == 4
+
+    def test_pentagon_stripe_fits_two_slots(self):
+        """An isolated pentagon stripe achieves full locality at mu=2.
+
+        9 tasks on the K5 edge structure orient into in-degree <= 2.
+        """
+        from repro.core import pentagon
+        code = pentagon()
+        layout = code.layout
+        tasks = [
+            Task(symbol.index, 0, symbol.replicas)
+            for symbol in layout.data_symbols()
+        ]
+        assert maximum_matching_count(tasks, 5, 2) == 9
+
+    def test_heptagon_stripe_capped_at_mu2(self):
+        """An isolated heptagon stripe cannot exceed 14 local tasks at mu=2."""
+        from repro.core import heptagon
+        code = heptagon()
+        tasks = [
+            Task(symbol.index, 0, symbol.replicas)
+            for symbol in code.layout.data_symbols()
+        ]
+        assert maximum_matching_count(tasks, 7, 2) == 14

@@ -1,0 +1,194 @@
+"""Tests for the delay, max-matching and peeling schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import (
+    Assignment,
+    DelayScheduler,
+    DelaySchedulerError,
+    MaxMatchingScheduler,
+    PeelingScheduler,
+    Task,
+    load_percent,
+    make_scheduler,
+    maximum_matching_count,
+    tasks_for_load,
+)
+from repro.workloads import generate_tasks, workload_for_load
+from repro.core import make_code
+
+
+def simple_tasks():
+    return [
+        Task(0, 0, (0, 1)),
+        Task(1, 0, (0, 1)),
+        Task(2, 0, (0, 2)),
+        Task(3, 1, (3,)),
+    ]
+
+
+class TestAssignmentModel:
+    def test_place_and_stats(self):
+        assignment = Assignment(node_count=4, slots_per_node=2)
+        tasks = simple_tasks()
+        assignment.place(tasks[0], 0)
+        assignment.place(tasks[1], 1)
+        assignment.place(tasks[2], 3)   # remote
+        assert assignment.local_count == 2
+        assert assignment.remote_count == 1
+        assert assignment.locality_percent() == pytest.approx(200 / 3)
+
+    def test_double_placement_rejected(self):
+        assignment = Assignment(2, 1)
+        task = Task(0, 0, (0,))
+        assignment.place(task, 0)
+        with pytest.raises(ValueError):
+            assignment.place(task, 1)
+
+    def test_capacity_validation(self):
+        assignment = Assignment(1, 1)
+        assignment.place(Task(0, 0, (0,)), 0)
+        assignment.place(Task(1, 0, (0,)), 0)
+        with pytest.raises(ValueError):
+            assignment.validate_capacity()
+
+    def test_empty_assignment_is_fully_local(self):
+        assert Assignment(1, 1).locality_percent() == 100.0
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            Task(0, 0, ())
+        with pytest.raises(ValueError):
+            Task(0, 0, (1, 1))
+
+    def test_load_helpers(self):
+        assert load_percent(250, 100, 4) == pytest.approx(62.5)  # paper's example
+        assert tasks_for_load(62.5, 100, 4) == 250
+        assert tasks_for_load(100, 25, 2) == 50
+
+
+class TestMaxMatchingScheduler:
+    def test_matches_count(self):
+        tasks = simple_tasks()
+        scheduler = MaxMatchingScheduler()
+        assignment = scheduler.assign(tasks, node_count=4, slots_per_node=2)
+        assert assignment.local_count == maximum_matching_count(tasks, 4, 2)
+        assignment.validate_capacity()
+
+    def test_all_tasks_assigned(self):
+        tasks = simple_tasks()
+        assignment = MaxMatchingScheduler().assign(tasks, 4, 2)
+        assert assignment.assigned_count == len(tasks)
+
+    def test_overload_rejected(self):
+        tasks = [Task(i, 0, (0,)) for i in range(3)]
+        with pytest.raises(ValueError):
+            MaxMatchingScheduler().assign(tasks, 1, 2)
+
+    def test_empty(self):
+        assert MaxMatchingScheduler().assign([], 2, 2).assigned_count == 0
+
+
+class TestDelayScheduler:
+    def test_all_assigned_within_capacity(self):
+        rng = np.random.default_rng(0)
+        tasks = generate_tasks(make_code("pentagon"), 45, 25, rng)
+        assignment = DelayScheduler().assign(tasks, 25, 2, rng)
+        assert assignment.assigned_count == 45
+        assignment.validate_capacity()
+
+    def test_seeded_reproducibility(self):
+        tasks = simple_tasks()
+        first = DelayScheduler().assign(tasks, 4, 2, np.random.default_rng(9))
+        second = DelayScheduler().assign(tasks, 4, 2, np.random.default_rng(9))
+        assert first.placements == second.placements
+
+    def test_never_beats_max_matching(self):
+        rng = np.random.default_rng(1)
+        for code_name in ("2-rep", "pentagon", "heptagon"):
+            for seed in range(5):
+                trial_rng = np.random.default_rng(seed)
+                tasks = workload_for_load(code_name, 100, 25, 2, trial_rng)
+                delayed = DelayScheduler().assign(tasks, 25, 2, trial_rng)
+                optimum = maximum_matching_count(tasks, 25, 2)
+                assert delayed.local_count <= optimum
+
+    def test_full_locality_when_uncontended(self):
+        # One task per node, trivially local everywhere.
+        tasks = [Task(i, i, (i,)) for i in range(5)]
+        assignment = DelayScheduler().assign(tasks, 5, 1, np.random.default_rng(2))
+        assert assignment.locality_percent() == 100.0
+
+    def test_forced_remote_when_node_has_no_data(self):
+        # Two tasks, both on node 0 (capacity 1); node 1 holds nothing.
+        tasks = [Task(0, 0, (0,)), Task(1, 0, (0,))]
+        assignment = DelayScheduler(max_skips=2).assign(
+            tasks, 2, 1, np.random.default_rng(3))
+        assert assignment.local_count == 1
+        assert assignment.remote_count == 1
+
+    def test_overload_raises(self):
+        tasks = [Task(i, 0, (0,)) for i in range(5)]
+        with pytest.raises(DelaySchedulerError):
+            DelayScheduler().assign(tasks, 2, 2, np.random.default_rng(0))
+
+
+class TestPeelingScheduler:
+    def test_all_assigned_within_capacity(self):
+        rng = np.random.default_rng(4)
+        tasks = generate_tasks(make_code("heptagon"), 60, 25, rng)
+        assignment = PeelingScheduler().assign(tasks, 25, 4, rng)
+        assert assignment.assigned_count == 60
+        assignment.validate_capacity()
+
+    def test_never_beats_max_matching(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            tasks = workload_for_load("pentagon", 100, 25, 4, rng)
+            peeled = PeelingScheduler().assign(tasks, 25, 4, rng)
+            assert peeled.local_count <= maximum_matching_count(tasks, 25, 4)
+
+    def test_forced_moves_taken_first(self):
+        # Task 1 has a single feasible node; a naive FIFO would strand it.
+        tasks = [Task(0, 0, (0, 1)), Task(1, 1, (0,))]
+        assignment = PeelingScheduler().assign(tasks, 2, 1, np.random.default_rng(0))
+        assert assignment.locality_percent() == 100.0
+        assert assignment.placements[1] == 0
+
+    def test_improves_on_delay_for_pentagon_on_average(self):
+        """The Fig. 3 claim: peeling beats delay scheduling at mu=4."""
+        delay_total, peel_total = 0, 0
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            tasks = workload_for_load("pentagon", 100, 25, 4, rng)
+            delay_total += DelayScheduler().assign(
+                tasks, 25, 4, np.random.default_rng(seed + 500)).local_count
+            peel_total += PeelingScheduler().assign(
+                tasks, 25, 4, np.random.default_rng(seed + 900)).local_count
+        assert peel_total >= delay_total
+
+    def test_stripe_aware_flag(self):
+        rng = np.random.default_rng(8)
+        tasks = workload_for_load("pentagon", 75, 25, 2, rng)
+        aware = PeelingScheduler(stripe_aware=True).assign(
+            tasks, 25, 2, np.random.default_rng(1))
+        oblivious = PeelingScheduler(stripe_aware=False).assign(
+            tasks, 25, 2, np.random.default_rng(1))
+        aware.validate_capacity()
+        oblivious.validate_capacity()
+
+
+class TestSchedulerFactory:
+    def test_make_by_name(self):
+        assert isinstance(make_scheduler("delay"), DelayScheduler)
+        assert isinstance(make_scheduler("max-matching"), MaxMatchingScheduler)
+        assert isinstance(make_scheduler("peeling"), PeelingScheduler)
+
+    def test_kwargs_forwarded(self):
+        scheduler = make_scheduler("delay", max_skips=7)
+        assert scheduler.max_skips == 7
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_scheduler("fifo")

@@ -1,0 +1,112 @@
+"""Tests for the locality workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_code
+from repro.workloads import generate_tasks, stripe_node_sample, workload_for_load
+
+
+class TestStripeSample:
+    def test_distinct_nodes(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            nodes = stripe_node_sample(rng, 25, 7)
+            assert len(set(nodes.tolist())) == 7
+
+    def test_too_long_stripe_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            stripe_node_sample(rng, 5, 7)
+
+
+class TestGenerateTasks:
+    def test_task_count_exact(self):
+        rng = np.random.default_rng(1)
+        tasks = generate_tasks(make_code("pentagon"), 23, 25, rng)
+        assert len(tasks) == 23
+        assert [t.index for t in tasks] == list(range(23))
+
+    def test_zero_tasks(self):
+        rng = np.random.default_rng(1)
+        assert generate_tasks(make_code("2-rep"), 0, 25, rng) == []
+
+    def test_negative_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            generate_tasks(make_code("2-rep"), -1, 25, rng)
+
+    def test_replication_candidates(self):
+        rng = np.random.default_rng(2)
+        for name, replicas in (("2-rep", 2), ("3-rep", 3)):
+            tasks = generate_tasks(make_code(name), 30, 25, rng)
+            for task in tasks:
+                assert len(task.candidates) == replicas
+                assert len(set(task.candidates)) == replicas
+
+    def test_pentagon_stripe_structure(self):
+        """Each full pentagon stripe: 9 tasks confined to 5 nodes,
+        every node endpoint of 3 or 4 tasks (Fig. 2's right degrees)."""
+        rng = np.random.default_rng(3)
+        tasks = generate_tasks(make_code("pentagon"), 18, 25, rng)
+        for stripe in (0, 1):
+            stripe_tasks = [t for t in tasks if t.stripe == stripe]
+            assert len(stripe_tasks) == 9
+            nodes = set()
+            for task in stripe_tasks:
+                assert len(task.candidates) == 2
+                nodes.update(task.candidates)
+            assert len(nodes) == 5
+            degrees = sorted(
+                sum(1 for t in stripe_tasks if node in t.candidates)
+                for node in nodes
+            )
+            assert degrees == [3, 3, 4, 4, 4]
+
+    def test_heptagon_stripe_structure(self):
+        rng = np.random.default_rng(4)
+        tasks = generate_tasks(make_code("heptagon"), 20, 25, rng)
+        nodes = set()
+        for task in tasks:
+            nodes.update(task.candidates)
+        assert len(nodes) == 7
+        degrees = sorted(
+            sum(1 for t in tasks if node in t.candidates) for node in nodes
+        )
+        assert degrees == [5, 5, 6, 6, 6, 6, 6]
+
+    def test_heptagon_local_tasks_have_two_candidates(self):
+        rng = np.random.default_rng(5)
+        tasks = generate_tasks(make_code("heptagon-local"), 40, 25, rng)
+        assert len(tasks) == 40
+        assert all(len(t.candidates) == 2 for t in tasks)
+
+    def test_rs_single_candidate(self):
+        rng = np.random.default_rng(6)
+        tasks = generate_tasks(make_code("rs(14,10)"), 10, 25, rng)
+        assert all(len(t.candidates) == 1 for t in tasks)
+
+    def test_partial_stripe_subset(self):
+        rng = np.random.default_rng(7)
+        tasks = generate_tasks(make_code("heptagon"), 5, 25, rng)
+        assert len(tasks) == 5
+        assert all(t.stripe == 0 for t in tasks)
+
+    def test_shuffle_preserves_multiset(self):
+        rng = np.random.default_rng(8)
+        plain = generate_tasks(make_code("pentagon"), 18, 25, rng)
+        rng2 = np.random.default_rng(8)
+        shuffled = generate_tasks(make_code("pentagon"), 18, 25, rng2, shuffle=True)
+        assert sorted(t.candidates for t in plain) == sorted(
+            t.candidates for t in shuffled
+        )
+        assert [t.index for t in shuffled] == list(range(18))
+
+
+class TestWorkloadForLoad:
+    def test_task_count_from_load(self):
+        rng = np.random.default_rng(9)
+        tasks = workload_for_load("2-rep", 100, 25, 2, rng)
+        assert len(tasks) == 50
+        tasks = workload_for_load("2-rep", 62.5, 100, 4, rng)
+        assert len(tasks) == 250  # the paper's worked example
