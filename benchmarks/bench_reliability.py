@@ -1,0 +1,74 @@
+"""Reliability hot-path benchmarks: Monte-Carlo simulation, decodability
+enumeration, and the brute-force Markov-chain builder.
+
+These are pytest-benchmark microbenchmarks for the paths the Table 1 /
+Fig. 4-5 pipelines hammer: vectorised group simulation, cached
+fault-tolerance enumeration, bulk ``can_recover_many`` sweeps and the
+exact subset chain.  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_reliability.py --benchmark-only
+
+and track the trajectory across PRs with ``benchmarks/perf_snapshot.py``.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import make_code
+from repro.reliability import (
+    ReliabilityParams,
+    brute_force_chain,
+    simulate_group_mttd,
+)
+
+#: Accelerated rates so absorption happens quickly (as in the tests).
+FAST = ReliabilityParams(node_mttf_hours=100.0, node_mttr_hours=10.0)
+
+SIM_CODES = ["pentagon", "heptagon-local", "(4,3) RAID+m"]
+
+
+@pytest.mark.benchmark(group="simulate")
+@pytest.mark.parametrize("code_name", SIM_CODES)
+def test_simulate_group_mttd(benchmark, code_name):
+    code = make_code(code_name)
+    # Warm the verdict caches once so rounds measure steady state.
+    simulate_group_mttd(code, FAST, np.random.default_rng(0), trials=50)
+
+    def run():
+        return simulate_group_mttd(code, FAST, np.random.default_rng(1),
+                                   trials=300)
+
+    measured = benchmark(run)
+    assert measured > 0
+    benchmark.extra_info["mttd_hours"] = measured
+
+
+@pytest.mark.benchmark(group="decodability")
+@pytest.mark.parametrize("code_name", ["heptagon-local", "rs(14,10)",
+                                       "pentagon-local"])
+def test_fault_tolerance_enumeration(benchmark, code_name):
+    """Cold fault-tolerance sweep (fresh instance per round: no memo)."""
+    result = benchmark(lambda: make_code(code_name).fault_tolerance)
+    assert result >= 2
+
+
+@pytest.mark.benchmark(group="decodability")
+def test_can_recover_many_warm(benchmark):
+    """Steady-state bulk queries against a warm decodability cache."""
+    code = make_code("heptagon-local")
+    patterns = list(itertools.combinations(range(code.length), 4))
+    code.can_recover_many(patterns)   # warm every verdict once
+
+    verdicts = benchmark(code.can_recover_many, patterns)
+    assert int((~verdicts).sum()) == len(code.fatal_patterns(4))
+
+
+@pytest.mark.benchmark(group="markov")
+def test_brute_force_chain_build(benchmark):
+    """The exact 2^15-subset chain of the heptagon-local group."""
+    code = make_code("heptagon-local")
+
+    chain = benchmark(brute_force_chain, code, FAST)
+    assert chain.absorbing

@@ -1,0 +1,98 @@
+"""Write a dated JSON snapshot of the repo's hot-path performance.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_snapshot.py
+
+Produces ``results/BENCH_<YYYY-MM-DD>.json`` with encode/decode
+throughput, Monte-Carlo simulation wall time and decodability-engine
+timings, so the perf trajectory is tracked PR over PR (commit the file
+with the change that moved the numbers).  Timings are medians of
+several repetitions; throughputs are MB/s over the stripe's data
+payload.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import platform
+import statistics
+import time
+
+import numpy as np
+
+from repro.core import make_code
+from repro.reliability import ReliabilityParams, simulate_group_mttd
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+BLOCK_BYTES = 1 << 20
+FAST = ReliabilityParams(node_mttf_hours=100.0, node_mttr_hours=10.0)
+
+ENCODE_CODES = ("heptagon-local", "rs(14,10)", "pentagon", "(10,9) RAID+m")
+SIM_CODES = ("pentagon", "heptagon-local", "(4,3) RAID+m")
+
+
+def median_seconds(fn, repeats: int = 5) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def snapshot() -> dict:
+    rng = np.random.default_rng(0)
+    record: dict = {
+        "date": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "block_bytes": BLOCK_BYTES,
+        "encode_mb_s": {},
+        "decode_mb_s": {},
+        "simulate_group_mttd_s": {},
+        "fault_tolerance_s": {},
+    }
+    for name in ENCODE_CODES:
+        code = make_code(name)
+        data = [rng.integers(0, 256, BLOCK_BYTES, dtype=np.uint8)
+                for _ in range(code.k)]
+        payload_mb = code.k * BLOCK_BYTES / 2**20
+        encoded = code.encode(data)          # warm packed tables
+        seconds = median_seconds(lambda: code.encode(data))
+        record["encode_mb_s"][name] = round(payload_mb / seconds, 1)
+        failed = set(range(code.fault_tolerance))
+        available = {i: encoded[i]
+                     for i in code.layout.surviving_symbols(failed)}
+        code.decode_data(available)          # warm the decode kernel
+        seconds = median_seconds(lambda: code.decode_data(available))
+        record["decode_mb_s"][name] = round(payload_mb / seconds, 1)
+    for name in SIM_CODES:
+        code = make_code(name)
+        simulate_group_mttd(code, FAST, np.random.default_rng(0), trials=50)
+        seconds = median_seconds(
+            lambda: simulate_group_mttd(code, FAST, np.random.default_rng(1),
+                                        trials=300),
+            repeats=3)
+        record["simulate_group_mttd_s"][name] = round(seconds, 4)
+    for name in ("heptagon-local", "rs(14,10)"):
+        seconds = median_seconds(
+            lambda: make_code(name).fault_tolerance, repeats=3)
+        record["fault_tolerance_s"][name] = round(seconds, 4)
+    return record
+
+
+def main() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = snapshot()
+    path = RESULTS_DIR / f"BENCH_{record['date']}.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"[saved to {path}]")
+    return path
+
+
+if __name__ == "__main__":
+    main()

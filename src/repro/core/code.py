@@ -6,6 +6,23 @@ structured, bandwidth-efficient strategies.  Everything else — encoding,
 generic rank-based decodability, decoding via GF(2^8) linear solve,
 fault-tolerance enumeration, and a correct (if not bandwidth-optimal)
 fallback repair plan — is provided here once, for all codes.
+
+Two shared performance engines live here:
+
+* a **decodability engine**: every recoverability question reduces to a
+  slot-bitmask lookup in a per-instance memo, backed by the layout's
+  vectorised replica masks and a second-level cache keyed on the
+  surviving-*symbol* set (many failure patterns strand the same
+  symbols, so rank tests run once per distinct surviving set).  Bulk
+  queries go through :meth:`can_recover_many` /
+  :meth:`can_recover_masks`, which the fault-tolerance enumerators,
+  Markov-chain builders and Monte-Carlo simulators all share.
+* a **batched encode/decode path**: the parity rows of the generator
+  are compiled once into a packed-table
+  :class:`~repro.gf.kernels.BatchedLinearMap`, so encoding computes all
+  parity symbols in one pass instead of per-symbol, per-coefficient
+  scalar combines; decode weight matrices are compiled the same way and
+  cached per surviving basis.
 """
 
 from __future__ import annotations
@@ -16,7 +33,15 @@ from functools import cached_property
 
 import numpy as np
 
-from ..gf import GF256, SingularMatrixError, independent_rows, invert, matrix_rank, solve
+from ..gf import (
+    GF256,
+    BatchedLinearMap,
+    SingularMatrixError,
+    independent_rows,
+    invert,
+    matrix_rank,
+    solve,
+)
 from .layout import StripeLayout, SymbolKind
 from .repair import (
     DecodeStep,
@@ -81,11 +106,35 @@ class Code(ABC):
     # ------------------------------------------------------------------
     # Encoding / decoding
     # ------------------------------------------------------------------
+    @cached_property
+    def _data_columns(self) -> tuple[int, ...]:
+        """For each data symbol (in layout order) its data-buffer column."""
+        return tuple(
+            self.layout.data_column(symbol.index)
+            for symbol in self.layout.symbols
+            if symbol.kind is SymbolKind.DATA
+        )
+
+    @cached_property
+    def _parity_kernel(self) -> BatchedLinearMap | None:
+        """Packed-table kernel over the generator's parity rows."""
+        parity_indices = [s.index for s in self.layout.symbols
+                          if s.kind.is_parity()]
+        if not parity_indices:
+            return None
+        return BatchedLinearMap(self.layout.generator_matrix()[parity_indices])
+
+    @cached_property
+    def _decode_kernels(self) -> dict[tuple[int, ...], BatchedLinearMap]:
+        return {}
+
     def encode(self, data_blocks) -> list[np.ndarray]:
         """Encode ``k`` data buffers into one buffer per distinct symbol.
 
         All buffers must share one length.  Data symbols are returned as
-        copies so callers may mutate them independently.
+        copies so callers may mutate them independently.  All parity
+        symbols are produced by one pass through the cached
+        matrix-batched kernel (bit-identical to the scalar reference).
         """
         buffers = [GF256.asarray(block) for block in data_blocks]
         if len(buffers) != self.k:
@@ -93,13 +142,16 @@ class Code(ABC):
         block_size = len(buffers[0])
         if any(len(buffer) != block_size for buffer in buffers):
             raise ValueError("all data blocks must have the same size")
+        parity = (self._parity_kernel.apply(buffers, block_size)
+                  if self._parity_kernel is not None else None)
         encoded: list[np.ndarray] = []
+        data_columns = iter(self._data_columns)
+        parity_rows = iter(parity) if parity is not None else None
         for symbol in self.layout.symbols:
             if symbol.kind is SymbolKind.DATA:
-                data_index = int(np.argmax(np.asarray(symbol.coefficients) != 0))
-                encoded.append(buffers[data_index].copy())
+                encoded.append(buffers[next(data_columns)].copy())
             else:
-                encoded.append(GF256.combine(symbol.coefficients, buffers, length=block_size))
+                encoded.append(next(parity_rows))
         return encoded
 
     def decode_data(self, available: dict[int, np.ndarray]) -> list[np.ndarray]:
@@ -112,9 +164,10 @@ class Code(ABC):
         The solve happens on the small coefficient matrix only: pick
         ``k`` independent rows (data symbols first, so the inverse stays
         sparse for systematic codes), invert the k x k system, then
-        apply the weights to the block buffers with fused table-lookup
-        XORs.  Eliminating over the megabyte-wide buffers directly would
-        be an order of magnitude slower.
+        apply the weights to the block buffers through a packed-table
+        kernel cached per surviving basis.  Eliminating over the
+        megabyte-wide buffers directly would be an order of magnitude
+        slower.
         """
         if not available:
             raise SingularMatrixError("no symbols available")
@@ -125,15 +178,20 @@ class Code(ABC):
             raise SingularMatrixError(
                 f"{self.name}: surviving symbols do not span the data space"
             )
-        chosen = [indices[p] for p in basis_positions]
-        weights = invert(generator[chosen])          # data = weights @ symbols
+        chosen = tuple(indices[p] for p in basis_positions)
+        kernel = self._decode_kernels.get(chosen)
+        if kernel is None:
+            weights = invert(generator[list(chosen)])   # data = weights @ symbols
+            kernel = BatchedLinearMap(weights)
+            # Bound the cached-kernel count; each kernel's packed
+            # tables run ~256 KiB per general column (scratch buffers
+            # are pooled module-wide in repro.gf.kernels).
+            if len(self._decode_kernels) >= 16:
+                self._decode_kernels.pop(next(iter(self._decode_kernels)))
+            self._decode_kernels[chosen] = kernel
         buffers = [GF256.asarray(available[i]) for i in chosen]
         block_size = len(buffers[0])
-        return [
-            GF256.combine((int(c) for c in weights[row]), buffers,
-                          length=block_size)
-            for row in range(self.k)
-        ]
+        return list(kernel.apply(buffers, block_size))
 
     def decode_symbol(self, symbol_index: int, available: dict[int, np.ndarray]) -> np.ndarray:
         """Reconstruct one coded symbol from surviving symbol buffers."""
@@ -142,32 +200,126 @@ class Code(ABC):
         return GF256.combine(coefficients, data, length=len(data[0]))
 
     # ------------------------------------------------------------------
-    # Failure analysis
+    # Failure analysis (the shared decodability engine)
     # ------------------------------------------------------------------
+    @cached_property
+    def _recover_cache(self) -> dict[int, bool]:
+        """Memo: failed-slot bitmask -> recoverable?  Shared by every code."""
+        return {0: True}
+
+    @cached_property
+    def _surviving_verdicts(self) -> dict[bytes, bool]:
+        """Memo: surviving-symbol mask bytes -> rank verdict.
+
+        Many distinct failure patterns strand the same symbol set; the
+        rank test runs once per distinct surviving set, not per pattern.
+        """
+        return {}
+
+    def _decodable_from_survivors(self, surviving: np.ndarray) -> bool:
+        """Rank verdict for a (symbol_count,) surviving-symbol bool mask."""
+        layout = self.layout
+        if surviving[layout.data_symbol_indices()].all():
+            return True            # unit rows alone span the data space
+        if int(surviving.sum()) < self.k:
+            return False
+        key = surviving.tobytes()
+        verdict = self._surviving_verdicts.get(key)
+        if verdict is None:
+            matrix = layout.generator_matrix()[np.nonzero(surviving)[0]]
+            verdict = matrix_rank(matrix) == self.k
+            self._surviving_verdicts[key] = verdict
+        return verdict
+
     def can_decode_from_symbols(self, symbol_indices) -> bool:
         """True when the listed symbols determine all data symbols."""
-        indices = sorted(set(symbol_indices))
-        if len(indices) < self.k:
-            return False
-        matrix = self.layout.generator_matrix()[indices]
-        return matrix_rank(matrix) == self.k
+        surviving = np.zeros(self.symbol_count, dtype=bool)
+        surviving[list(set(symbol_indices))] = True
+        return self._decodable_from_survivors(surviving)
+
+    def _recover_uncached(self, mask: int) -> bool:
+        """Exact rank-based verdict for one failed-slot bitmask.
+
+        Subclasses with a proven closed form (the heptagon-local code)
+        override this single hook; memoisation and the bulk APIs wrap
+        it for free.
+        """
+        failed = [slot for slot in range(self.length) if (mask >> slot) & 1]
+        return self._decodable_from_survivors(self.layout.surviving_mask(failed))
+
+    @staticmethod
+    def _slot_mask(failed_slots) -> int:
+        mask = 0
+        for slot in failed_slots:
+            # int() keeps the shift in arbitrary-precision Python ints
+            # even when callers pass numpy integers and slot >= 63.
+            mask |= 1 << int(slot)
+        return mask
 
     def can_recover(self, failed_slots) -> bool:
         """True when the data survives failure of every listed slot."""
-        failed = set(failed_slots)
-        if not failed:
-            return True
-        return self.can_decode_from_symbols(self.layout.surviving_symbols(failed))
+        mask = self._slot_mask(failed_slots)
+        cache = self._recover_cache
+        verdict = cache.get(mask)
+        if verdict is None:
+            verdict = cache[mask] = self._recover_uncached(mask)
+        return verdict
+
+    def can_recover_masks(self, masks) -> np.ndarray:
+        """Bulk :meth:`can_recover` over failed-slot bitmask ints.
+
+        Uncached generic patterns are resolved in one vectorised pass
+        (bit-unpack -> one matmul for all surviving-symbol masks ->
+        deduplicated rank tests); closed-form overrides are consulted
+        per mask.  Returns a bool array aligned with ``masks``.
+        """
+        masks = [int(m) for m in masks]
+        cache = self._recover_cache
+        unknown = sorted({m for m in masks if m not in cache})
+        if unknown:
+            if (type(self)._recover_uncached is not Code._recover_uncached
+                    or self.length > 63):
+                # Closed-form overrides, and masks too wide for the
+                # int64 bit-unpack below, resolve one at a time
+                # (arbitrary-precision Python ints).
+                for mask in unknown:
+                    cache[mask] = self._recover_uncached(mask)
+            else:
+                mask_array = np.array(unknown, dtype=np.int64)
+                failed_matrix = (
+                    mask_array[:, None] >> np.arange(self.length)[None, :]
+                ) & 1
+                surviving = self.layout.surviving_masks_many(failed_matrix)
+                for row, mask in enumerate(unknown):
+                    cache[mask] = self._decodable_from_survivors(surviving[row])
+        return np.fromiter((cache[m] for m in masks), dtype=bool,
+                           count=len(masks))
+
+    def can_recover_many(self, patterns) -> np.ndarray:
+        """Bulk :meth:`can_recover` over an iterable of slot collections."""
+        return self.can_recover_masks(
+            self._slot_mask(pattern) for pattern in patterns)
 
     @cached_property
     def fault_tolerance(self) -> int:
-        """Largest ``f`` such that *every* ``f``-slot failure is recoverable."""
+        """Largest ``f`` such that *every* ``f``-slot failure is recoverable.
+
+        Patterns stream through the bulk engine in batches so a fatal
+        pattern short-circuits the sweep without first ranking every
+        pattern of its size.
+        """
         tolerance = 0
         for size in range(1, self.length + 1):
-            if all(
-                self.can_recover(subset)
-                for subset in itertools.combinations(range(self.length), size)
-            ):
+            patterns = itertools.combinations(range(self.length), size)
+            all_recoverable = True
+            batch_size = 64          # fatal patterns cluster early in
+            while all_recoverable:   # lexicographic order; probe small
+                batch = list(itertools.islice(patterns, batch_size))
+                if not batch:
+                    break
+                all_recoverable = bool(self.can_recover_many(batch).all())
+                batch_size = min(batch_size * 4, 4096)
+            if all_recoverable:
                 tolerance = size
             else:
                 break
@@ -175,11 +327,10 @@ class Code(ABC):
 
     def fatal_patterns(self, size: int) -> list[frozenset[int]]:
         """All ``size``-slot failure patterns that lose data."""
-        return [
-            frozenset(subset)
-            for subset in itertools.combinations(range(self.length), size)
-            if not self.can_recover(subset)
-        ]
+        patterns = list(itertools.combinations(range(self.length), size))
+        verdicts = self.can_recover_many(patterns)
+        return [frozenset(pattern)
+                for pattern, ok in zip(patterns, verdicts) if not ok]
 
     def fatal_pattern_fraction(self, size: int) -> float:
         """Fraction of ``size``-slot failure patterns that lose data."""

@@ -52,14 +52,19 @@ class HeptagonLocalCode(PolygonLocalCode):
         heptagon has 3 failures while the global node is down, or both
         heptagons have 3 failures at once (6 unknowns vs 4 equations).
         """
-        per_group, global_failed = self.split_failures(failed_slots)
-        f1, f2 = len(per_group[0]), len(per_group[1])
-        if max(f1, f2) >= 4:
-            return True
-        if global_failed and max(f1, f2) >= 3:
-            return True
-        return f1 >= 3 and f2 >= 3
+        return not self.can_recover(failed_slots)
 
-    def can_recover(self, failed_slots) -> bool:
-        """Closed form negation of :meth:`is_fatal`."""
-        return not self.is_fatal(failed_slots)
+    def _recover_uncached(self, mask: int) -> bool:
+        """Closed form plugged into the shared decodability engine.
+
+        The mask layout follows the slot map: bits 0-6 heptagon A,
+        7-13 heptagon B, 14 the global node.
+        """
+        f1 = (mask & 0x7F).bit_count()
+        f2 = ((mask >> 7) & 0x7F).bit_count()
+        worst = f1 if f1 >= f2 else f2
+        if worst >= 4:
+            return False
+        if (mask >> 14) & 1 and worst >= 3:
+            return False
+        return not (f1 >= 3 and f2 >= 3)

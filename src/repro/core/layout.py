@@ -85,6 +85,12 @@ class StripeLayout:
     length: int
     symbols: tuple[Symbol, ...]
     _slot_map: dict[int, tuple[int, ...]] = field(init=False, repr=False, compare=False, default=None)
+    #: (symbol_count, length) bool: replica incidence, the substrate of
+    #: every vectorised failure-reasoning query below.
+    _replica_matrix: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+    _replica_counts: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+    _data_indices: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+    _generator: np.ndarray = field(init=False, repr=False, compare=False, default=None)
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -110,6 +116,21 @@ class StripeLayout:
                 slot_map[slot].append(symbol.index)
         frozen = {slot: tuple(indices) for slot, indices in slot_map.items()}
         object.__setattr__(self, "_slot_map", frozen)
+        replica_matrix = np.zeros((len(self.symbols), self.length), dtype=bool)
+        for symbol in self.symbols:
+            replica_matrix[symbol.index, list(symbol.replicas)] = True
+        object.__setattr__(self, "_replica_matrix", replica_matrix)
+        object.__setattr__(
+            self, "_replica_counts",
+            replica_matrix.sum(axis=1, dtype=np.int64))
+        object.__setattr__(
+            self, "_data_indices",
+            np.array([s.index for s in self.symbols
+                      if s.kind is SymbolKind.DATA], dtype=np.intp))
+        generator = np.array([s.coefficients for s in self.symbols],
+                             dtype=np.uint8)
+        generator.setflags(write=False)
+        object.__setattr__(self, "_generator", generator)
 
     # ------------------------------------------------------------------
     # Derived structure
@@ -144,29 +165,62 @@ class StripeLayout:
         return tuple(s for s in self.symbols if s.kind.is_parity())
 
     def generator_matrix(self) -> np.ndarray:
-        """(symbol_count, k) GF(2^8) generator matrix, one row per symbol."""
-        return np.array([s.coefficients for s in self.symbols], dtype=np.uint8)
+        """(symbol_count, k) GF(2^8) generator matrix, one row per symbol.
+
+        The array is cached and **read-only**; index it (fancy indexing
+        copies) rather than writing into it.
+        """
+        return self._generator
+
+    def data_symbol_indices(self) -> np.ndarray:
+        """Indices of the data symbols, as a read-only index array."""
+        return self._data_indices
+
+    def data_column(self, symbol_index: int) -> int:
+        """Data-buffer column a systematic symbol carries.
+
+        For a data symbol this is the position of its (single) nonzero
+        coefficient; parity symbols have no data column.
+        """
+        symbol = self.symbols[symbol_index]
+        if symbol.kind is not SymbolKind.DATA:
+            raise ValueError(f"symbol {symbol_index} is not a data symbol")
+        for column, value in enumerate(symbol.coefficients):
+            if value:
+                return column
+        raise ValueError(f"symbol {symbol_index} has an all-zero row")
 
     # ------------------------------------------------------------------
     # Failure reasoning
     # ------------------------------------------------------------------
-    def surviving_symbols(self, failed_slots: set[int] | frozenset[int]) -> tuple[int, ...]:
-        """Symbols with at least one replica outside ``failed_slots``."""
-        failed = set(failed_slots)
-        return tuple(
-            symbol.index
-            for symbol in self.symbols
-            if any(slot not in failed for slot in symbol.replicas)
-        )
+    def surviving_mask(self, failed_slots) -> np.ndarray:
+        """(symbol_count,) bool: symbols with a replica off ``failed_slots``."""
+        failed = list(set(failed_slots))
+        if not failed:
+            return np.ones(len(self.symbols), dtype=bool)
+        lost_replicas = self._replica_matrix[:, failed].sum(axis=1)
+        return lost_replicas < self._replica_counts
 
-    def lost_symbols(self, failed_slots: set[int] | frozenset[int]) -> tuple[int, ...]:
+    def surviving_masks_many(self, failed_matrix: np.ndarray) -> np.ndarray:
+        """Bulk :meth:`surviving_mask` for a (patterns, length) bool matrix.
+
+        One uint8 matmul counts each pattern's dead replicas per symbol;
+        a symbol survives while some replica sits on a live slot.
+        """
+        count_dtype = np.uint8 if self.length < 256 else np.int64
+        failed = np.asarray(failed_matrix, dtype=count_dtype)
+        dead_replicas = failed @ self._replica_matrix.T.astype(count_dtype)
+        return dead_replicas < self._replica_counts[None, :]
+
+    def surviving_symbols(self, failed_slots) -> tuple[int, ...]:
+        """Symbols with at least one replica outside ``failed_slots``."""
+        mask = self.surviving_mask(failed_slots)
+        return tuple(int(i) for i in np.nonzero(mask)[0])
+
+    def lost_symbols(self, failed_slots) -> tuple[int, ...]:
         """Symbols whose every replica sits on a failed slot."""
-        failed = set(failed_slots)
-        return tuple(
-            symbol.index
-            for symbol in self.symbols
-            if all(slot in failed for slot in symbol.replicas)
-        )
+        mask = self.surviving_mask(failed_slots)
+        return tuple(int(i) for i in np.nonzero(~mask)[0])
 
     def replicas_alive(self, symbol_index: int,
                        failed_slots: set[int] | frozenset[int]) -> tuple[int, ...]:

@@ -19,7 +19,6 @@ is decided by the exact generic rank test.
 
 from __future__ import annotations
 
-import itertools
 from functools import cached_property
 
 from ..gf import gf_pow
@@ -55,7 +54,6 @@ class PolygonLocalCode(Code):
         if groups * self.group_k + global_parities > 255:
             raise ValueError("GF(256) Vandermonde generators exhausted")
         self.name = self._default_name()
-        self._recover_cache: dict[frozenset[int], bool] = {}
 
     def _default_name(self) -> str:
         base = {5: "pentagon", 7: "heptagon"}.get(self.n, f"polygon-{self.n}")
@@ -147,18 +145,12 @@ class PolygonLocalCode(Code):
     def _symbol_base(self, group: int) -> int:
         return group * self.group_symbols
 
-    def can_recover(self, failed_slots) -> bool:
-        """Exact rank-based recoverability, memoised per failure set.
-
-        Subclasses with a proven closed form (the heptagon-local code)
-        override this; the general family keeps the exact test because
-        generalized-Vandermonde minors over GF(256) can vanish for some
-        geometries, so counting equations is not sufficient in general.
-        """
-        key = frozenset(failed_slots)
-        if key not in self._recover_cache:
-            self._recover_cache[key] = Code.can_recover(self, key)
-        return self._recover_cache[key]
+    # Recoverability: the general family keeps the exact rank test of
+    # the shared (and now memoised) :meth:`Code.can_recover` engine,
+    # because generalized-Vandermonde minors over GF(256) can vanish
+    # for some geometries, so counting equations is not sufficient in
+    # general.  The heptagon-local subclass overrides the
+    # ``_recover_uncached`` hook with its proven closed form.
 
     # ------------------------------------------------------------------
     # Repair planning
@@ -252,11 +244,7 @@ class PolygonLocalCode(Code):
         return primaries
 
     def _data_column(self, symbol_index: int) -> int:
-        coefficients = self.layout.symbols[symbol_index].coefficients
-        for column, value in enumerate(coefficients):
-            if value:
-                return column
-        raise ValueError(f"symbol {symbol_index} is not a data symbol")
+        return self.layout.data_column(symbol_index)
 
     def _plan_global_rebuild(self, payload_shift: int,
                              failed: set[int]) -> tuple[list[Transfer], list[DecodeStep]]:
@@ -373,9 +361,5 @@ class PolygonLocalCode(Code):
     # Introspection used by experiments and tests
     # ------------------------------------------------------------------
     def enumerate_fatal_quadruples(self) -> list[frozenset[int]]:
-        """All fatal 4-slot patterns."""
-        return [
-            frozenset(subset)
-            for subset in itertools.combinations(range(self.length), 4)
-            if not self.can_recover(subset)
-        ]
+        """All fatal 4-slot patterns (bulk decodability query)."""
+        return self.fatal_patterns(4)

@@ -6,6 +6,7 @@ scheme in :mod:`repro.core`.
 """
 
 from .field import GF256, gf_add, gf_div, gf_inv, gf_mul, gf_pow, gf_sub
+from .kernels import PACKED_MIN_BYTES, BatchedLinearMap
 from .linalg import (
     SingularMatrixError,
     cauchy,
@@ -22,6 +23,8 @@ from .tables import EXP, FIELD_SIZE, GROUP_ORDER, INV_TABLE, LOG, MUL_TABLE, PRI
 
 __all__ = [
     "GF256",
+    "BatchedLinearMap",
+    "PACKED_MIN_BYTES",
     "gf_add",
     "gf_sub",
     "gf_mul",

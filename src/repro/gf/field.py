@@ -91,10 +91,34 @@ class GF256:
     dtype = np.uint8
 
     @staticmethod
-    def asarray(data) -> np.ndarray:
-        """Coerce ``data`` (bytes, list, array) into a uint8 array."""
+    def asarray(data, *, writable: bool = False) -> np.ndarray:
+        """Coerce ``data`` (bytes, list, array) into a uint8 array.
+
+        Mutation contract: by default the result may be a **read-only
+        zero-copy view** of the caller's buffer (always the case for
+        ``bytes``/``bytearray``/``memoryview`` input, and ``ndarray``
+        input is returned as-is).  Read paths — encode, decode, rank
+        checks — never write through it.  Pass ``writable=True`` when
+        the caller needs a private buffer it may mutate; only then is a
+        copy guaranteed.
+        """
         if isinstance(data, (bytes, bytearray, memoryview)):
-            return np.frombuffer(bytes(data), dtype=np.uint8).copy()
+            try:
+                array = np.frombuffer(data, dtype=np.uint8)
+            except (ValueError, BufferError):
+                # Non-contiguous / exotic memoryview: fall back to a copy.
+                array = np.frombuffer(bytes(data), dtype=np.uint8)
+            if writable:
+                return array.copy()
+            if array.flags.writeable:
+                # bytearray/memoryview views alias caller memory; expose
+                # them read-only so accidental in-place ops cannot
+                # corrupt the source.
+                array = array.view()
+                array.flags.writeable = False
+            return array
+        if writable:
+            return np.array(data, dtype=np.uint8)
         return np.asarray(data, dtype=np.uint8)
 
     @staticmethod

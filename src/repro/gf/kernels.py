@@ -1,0 +1,221 @@
+"""Batched GF(2^8) linear maps via packed lookup tables.
+
+Applying an ``(m, k)`` coefficient matrix to ``k`` byte-buffers is the
+encode/decode hot path: every parity symbol is one output row, every
+data block one input column.  The scalar reference
+(:meth:`repro.gf.GF256.combine`) performs one 256-entry table gather per
+(row, column) pair — ``m * k`` gathers across the whole block, each a
+bounds-checked numpy fancy-index.
+
+:class:`BatchedLinearMap` compiles the matrix once into a faster
+execution plan:
+
+* columns whose coefficients are all 0/1 never touch a multiplication
+  table — they fold into the output with raw XORs;
+* the remaining output rows are processed in *groups* of up to four:
+  for each column a 65536-entry table maps two adjacent input bytes to
+  the packed product bytes of every row in the group (``uint32`` for
+  one or two rows, ``uint64`` for three or four), dividing the gather
+  count by up to eight;
+* gathers use ``np.take(..., mode="clip")`` — a 16-bit index can never
+  exceed the 65536-entry table, so the bounds-check branch is dead and
+  numpy's cheaper clipped path is safe.
+
+The packed tables are built from :data:`repro.gf.tables.MUL_TABLE`
+products, so batched output is **bit-identical** to the scalar path
+(asserted exhaustively by ``tests/test_perf_paths.py``).  Blocks that
+are small, odd-sized, or on big-endian hosts fall back to the scalar
+path transparently.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from .field import GF256
+from .tables import MUL_TABLE
+
+#: Blocks smaller than this take the scalar path: a packed table costs
+#: ~0.5 ms per (row-group, column) to build, which only amortises over
+#: large or repeated applications.
+PACKED_MIN_BYTES = 1 << 16
+
+#: Output rows packed per lookup table (two input bytes each).
+_GROUP_ROWS = 4
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+#: Gather/accumulate scratch shared by every kernel (these paths are
+#: single-threaded), keyed (dtype, words) and bounded to a handful of
+#: live block sizes so cached decode kernels don't each pin ~MiB pairs.
+_SCRATCH: dict[tuple[type, int], tuple[np.ndarray, np.ndarray]] = {}
+
+#: Low/high byte of every 16-bit word, built once on first table build.
+_PAIR_HALVES: tuple[np.ndarray, np.ndarray] | None = None
+
+
+def _scratch_pair(dtype, words: int) -> tuple[np.ndarray, np.ndarray]:
+    pair = _SCRATCH.get((dtype, words))
+    if pair is None:
+        if len(_SCRATCH) >= 4:
+            _SCRATCH.clear()
+        pair = _SCRATCH[(dtype, words)] = (np.empty(words, dtype=dtype),
+                                           np.empty(words, dtype=dtype))
+    return pair
+
+
+def _pair_halves() -> tuple[np.ndarray, np.ndarray]:
+    global _PAIR_HALVES
+    if _PAIR_HALVES is None:
+        word = np.arange(1 << 16, dtype=np.uint32)
+        _PAIR_HALVES = ((word & 0xFF).astype(np.uint8),
+                        (word >> 8).astype(np.uint8))
+    return _PAIR_HALVES
+
+
+def _packed_table(coefficients: list[int], dtype) -> np.ndarray:
+    """65536-entry table: 2 input bytes -> packed products per group row.
+
+    Little-endian entry layout: bytes ``2r``/``2r + 1`` hold group row
+    ``r``'s products of the low/high input byte.
+    """
+    lo, hi = _pair_halves()
+    table = np.zeros(1 << 16, dtype=dtype)
+    for row, coefficient in enumerate(coefficients):
+        if coefficient == 0:
+            continue
+        products = MUL_TABLE[coefficient]
+        table |= products[lo].astype(dtype) << dtype(16 * row)
+        table |= products[hi].astype(dtype) << dtype(16 * row + 8)
+    return table
+
+
+def _u16_view(buffer: np.ndarray) -> np.ndarray:
+    """Reinterpret an even-length uint8 buffer as uint16 words."""
+    if not buffer.flags.c_contiguous or buffer.__array_interface__["data"][0] % 2:
+        buffer = np.ascontiguousarray(buffer)
+    return buffer.view(np.uint16)
+
+
+class BatchedLinearMap:
+    """A compiled ``(m, k)`` GF(2^8) matrix applied to byte-buffer stacks.
+
+    Build once per coefficient matrix (the constructor classifies
+    columns and groups rows; multiplication tables are materialised
+    lazily on the first packed application) and call :meth:`apply`
+    repeatedly.  ``apply`` returns an ``(m, block_size)`` uint8 array —
+    rows are disjoint, independently mutable buffers.
+    """
+
+    def __init__(self, rows) -> None:
+        matrix = np.array(rows, dtype=np.uint8)
+        if matrix.ndim != 2:
+            raise ValueError("expected a 2-D coefficient matrix")
+        self.rows = matrix
+        self.m, self.k = matrix.shape
+        general = [r for r in range(self.m) if np.any(matrix[r] > 1)]
+        #: Row groups sharing packed tables: (rows, packed columns, dtype).
+        self._groups: list[tuple[tuple[int, ...], np.ndarray, type]] = []
+        packed_by_row: dict[int, np.ndarray] = {}
+        for start in range(0, len(general), _GROUP_ROWS):
+            members = tuple(general[start:start + _GROUP_ROWS])
+            coeffs = matrix[list(members)].max(axis=0)
+            columns = np.nonzero(coeffs > 1)[0]
+            dtype = np.uint32 if len(members) <= 2 else np.uint64
+            self._groups.append((members, columns, dtype))
+            for r in members:
+                packed_by_row[r] = columns
+        #: Per row: columns folded in with plain XOR (coefficient 1 and
+        #: not already covered by that row's packed tables).
+        self._xor_columns: list[np.ndarray] = []
+        for r in range(self.m):
+            ones = np.nonzero(matrix[r] == 1)[0]
+            packed = packed_by_row.get(r)
+            if packed is not None and packed.size:
+                ones = np.setdiff1d(ones, packed, assume_unique=True)
+            self._xor_columns.append(ones)
+        self._tables: dict[int, list[tuple[int, np.ndarray]]] = {}
+
+    # ------------------------------------------------------------------
+    def _tables_for(self, group_index: int) -> list[tuple[int, np.ndarray]]:
+        cached = self._tables.get(group_index)
+        if cached is None:
+            members, columns, dtype = self._groups[group_index]
+            cached = [
+                (int(j),
+                 _packed_table([int(self.rows[r, j]) for r in members], dtype))
+                for j in columns
+            ]
+            self._tables[group_index] = cached
+        return cached
+
+    def _apply_scalar(self, buffers: list[np.ndarray], block_size: int) -> np.ndarray:
+        out = np.empty((self.m, block_size), dtype=np.uint8)
+        for r in range(self.m):
+            out[r] = GF256.combine(
+                (int(c) for c in self.rows[r]), buffers, length=block_size)
+        return out
+
+    def apply(self, buffers, block_size: int | None = None) -> np.ndarray:
+        """Return ``rows @ stack(buffers)`` as an ``(m, block_size)`` array."""
+        buffers = [GF256.asarray(b) for b in buffers]
+        if len(buffers) != self.k:
+            raise ValueError(
+                f"expected {self.k} input buffers, got {len(buffers)}")
+        if block_size is None:
+            if not buffers:
+                raise ValueError("cannot infer block size from empty input")
+            block_size = len(buffers[0])
+        if any(len(b) != block_size for b in buffers):
+            raise ValueError("buffers must share a common length")
+        if (not _LITTLE_ENDIAN or block_size % 2
+                or block_size < PACKED_MIN_BYTES):
+            return self._apply_scalar(buffers, block_size)
+
+        out = np.empty((self.m, block_size), dtype=np.uint8)
+        filled = [False] * self.m
+        for r, columns in enumerate(self._xor_columns):
+            row = out[r]
+            for j in columns:
+                if filled[r]:
+                    np.bitwise_xor(row, buffers[j], out=row)
+                else:
+                    np.copyto(row, buffers[j])
+                    filled[r] = True
+        if self._groups:
+            words = block_size // 2
+            views: dict[int, np.ndarray] = {}
+            for group_index, (members, _, dtype) in enumerate(self._groups):
+                tables = self._tables_for(group_index)
+                if not tables:
+                    continue
+                accumulator, gathered = _scratch_pair(dtype, words)
+                for position, (j, table) in enumerate(tables):
+                    view = views.get(j)
+                    if view is None:
+                        view = views[j] = _u16_view(buffers[j])
+                    if position == 0:
+                        np.take(table, view, out=accumulator, mode="clip")
+                        continue
+                    np.take(table, view, out=gathered, mode="clip")
+                    np.bitwise_xor(accumulator, gathered, out=accumulator)
+                # Unpack each member row's 16-bit lane of the accumulator
+                # (shifting in place; the scratch buffer is disposable).
+                for position, r in enumerate(members):
+                    if position:
+                        np.right_shift(accumulator, dtype(16), out=accumulator)
+                    halves = accumulator.astype(np.uint16)
+                    row = out[r].view(np.uint16)
+                    if filled[r]:
+                        np.bitwise_xor(row, halves, out=row)
+                    else:
+                        np.copyto(row, halves)
+                        filled[r] = True
+        for r, done in enumerate(filled):
+            if not done:
+                out[r] = 0
+        return out
+
+    __call__ = apply

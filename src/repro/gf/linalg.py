@@ -145,23 +145,54 @@ def invert(matrix) -> np.ndarray:
     return solve(square, identity)
 
 
+#: Packed kernels for matmul's wide-RHS route, keyed by coefficient
+#: bytes so repeated products with one matrix reuse the built tables.
+_KERNEL_CACHE: dict[tuple[bytes, tuple[int, int]], object] = {}
+
+
+def _cached_kernel(left: np.ndarray):
+    from .kernels import BatchedLinearMap
+
+    key = (left.tobytes(), left.shape)
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        if len(_KERNEL_CACHE) >= 8:
+            _KERNEL_CACHE.pop(next(iter(_KERNEL_CACHE)))
+        kernel = _KERNEL_CACHE[key] = BatchedLinearMap(left)
+    return kernel
+
+
 def matmul(a, b) -> np.ndarray:
     """Matrix product over GF(256).
 
     ``b`` may be a matrix of coefficients or a stack of block buffers
     (one buffer per row); either way each output entry is the GF-linear
     combination of ``b`` rows weighted by an ``a`` row.
+
+    The product runs one vectorised pass per shared-dimension column:
+    all output rows are updated at once through a 2-D table gather
+    (unit coefficients shortcut to raw XOR), rather than the scalar
+    per-row/per-coefficient loop this replaces.  Wide right-hand sides
+    (block-buffer stacks) route through the packed-table
+    :class:`~repro.gf.kernels.BatchedLinearMap` engine, which also
+    backs :meth:`repro.core.Code.encode`.
     """
     left = np.asarray(a, dtype=np.uint8)
     right = np.asarray(b, dtype=np.uint8)
     if left.ndim != 2 or right.ndim != 2 or left.shape[1] != right.shape[0]:
         raise ValueError("incompatible shapes for GF matmul")
+    if right.shape[1] >= 1 << 16:
+        return _cached_kernel(left).apply(list(right))
     out = np.zeros((left.shape[0], right.shape[1]), dtype=np.uint8)
-    for i in range(left.shape[0]):
-        row = left[i]
-        nonzero = np.nonzero(row)[0]
-        for j in nonzero:
-            out[i] ^= MUL_TABLE[row[j]][right[j]]
+    for j in range(left.shape[1]):
+        column = left[:, j]
+        units = np.nonzero(column == 1)[0]
+        if units.size:
+            out[units] ^= right[j]
+        general = np.nonzero(column > 1)[0]
+        if general.size:
+            out[general] ^= MUL_TABLE[column[general][:, None],
+                                      right[j][None, :]]
     return out
 
 

@@ -28,8 +28,9 @@ variant; the Table 1 experiment reports both.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, replace
+
+import numpy as np
 
 from ..core import Code, make_code
 from .markov import MarkovChain
@@ -225,7 +226,11 @@ def conservative_chain(length: int, tolerance: int,
 def brute_force_chain(code: Code, params: ReliabilityParams) -> MarkovChain:
     """Exact chain over all failure subsets of one group (validation).
 
-    Exponential in code length — use only for ``length <= 15``.
+    Exponential in code length — use only for ``length <= 15``.  All
+    ``2**length`` recoverability verdicts come from one bulk
+    :meth:`~repro.core.Code.can_recover_masks` query (vectorised
+    surviving-symbol masks plus deduplicated rank tests) instead of a
+    rank test per subset per grown subset.
     """
     if code.length > 15:
         raise ValueError("brute force chain is limited to length <= 15")
@@ -233,21 +238,33 @@ def brute_force_chain(code: Code, params: ReliabilityParams) -> MarkovChain:
     chain.mark_absorbing(DATA_LOSS)
     lam = params.failure_rate
     slots = range(code.length)
-    for size in range(code.length + 1):
-        for subset in itertools.combinations(slots, size):
-            failed = frozenset(subset)
-            if not code.can_recover(failed):
+    recoverable = code.can_recover_masks(np.arange(1 << code.length))
+    # States exist only for recoverable masks; build their frozensets
+    # lazily (fatal masks all collapse into the DATA_LOSS state).
+    subsets: dict[int, frozenset[int]] = {}
+
+    def subset(mask: int) -> frozenset[int]:
+        cached = subsets.get(mask)
+        if cached is None:
+            cached = subsets[mask] = frozenset(
+                slot for slot in slots if (mask >> slot) & 1)
+        return cached
+
+    for mask in range(1 << code.length):
+        if not recoverable[mask]:
+            continue
+        failed = subset(mask)
+        for slot in slots:
+            if slot in failed:
                 continue
-            for slot in slots:
-                if slot in failed:
-                    continue
-                grown = failed | {slot}
-                dest = grown if code.can_recover(grown) else DATA_LOSS
-                chain.add_transition(failed, dest, lam)
-            for slot in failed:
-                rate = (params.repair_rate if params.repair == "parallel"
-                        else params.repair_rate / len(failed))
-                chain.add_transition(failed, failed - {slot}, rate)
+            grown_mask = mask | (1 << slot)
+            dest = (subset(grown_mask) if recoverable[grown_mask]
+                    else DATA_LOSS)
+            chain.add_transition(failed, dest, lam)
+        for slot in failed:
+            rate = (params.repair_rate if params.repair == "parallel"
+                    else params.repair_rate / len(failed))
+            chain.add_transition(failed, failed - {slot}, rate)
     return chain
 
 

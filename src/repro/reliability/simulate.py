@@ -15,6 +15,17 @@ Two simulators:
 Both are used at accelerated failure rates (MTTF within ~100x of MTTR)
 where absorption happens quickly; the analytic chains then extrapolate
 to realistic rates.
+
+Both simulators run **all trials as one batched event stream**: every
+round advances every still-active trial by one exponential event with
+vectorised sampling, and absorbed trials are compacted out.  Fatality
+checks resolve through the shared decodability engine — a lazily filled
+verdict table over failed-slot bitmasks, so steady-state rounds never
+leave numpy.  The estimators are unchanged (identical event-rate
+algebra, exponential holding times and uniform victim selection); only
+the order in which random variates are drawn differs from the retired
+one-event-at-a-time loops, so results agree statistically under any
+fixed seed rather than bit-for-bit.
 """
 
 from __future__ import annotations
@@ -25,28 +36,82 @@ from ..core import Code
 from .markov import MarkovChain
 from .models import ReliabilityParams
 
+#: Largest code length for which group simulation keeps a dense
+#: bitmask -> verdict table (2**length int8 entries).
+_VERDICT_TABLE_MAX_LENGTH = 24
+
+#: Below this many still-active trials the batched round overhead
+#: exceeds the work, so the last stragglers drain in a scalar loop.
+_TAIL_ACTIVE_TRIALS = 24
+
+
+def _compile_chain(chain: MarkovChain):
+    """Flatten a chain into index-based transition tables."""
+    states = list(chain.transitions)
+    index = {state: i for i, state in enumerate(states)}
+    size = len(states)
+    width = max((len(moves) for moves in chain.transitions.values()), default=0)
+    width = max(width, 1)
+    out_rate = np.zeros(size, dtype=np.float64)
+    cumulative = np.ones((size, width), dtype=np.float64)
+    dest = np.zeros((size, width), dtype=np.intp)
+    absorbing = np.zeros(size, dtype=bool)
+    for state, moves in chain.transitions.items():
+        i = index[state]
+        absorbing[i] = state in chain.absorbing
+        if not moves:
+            continue
+        rates = np.array([rate for rate, _ in moves], dtype=np.float64)
+        total = rates.sum()
+        out_rate[i] = total
+        cum = np.cumsum(rates) / total
+        cum[-1] = 1.0                      # absorb float rounding at the top
+        cumulative[i, :len(moves)] = cum
+        targets = [index[target] for _, target in moves]
+        dest[i, :len(moves)] = targets
+        dest[i, len(moves):] = targets[-1]  # pads can never be selected
+    return index, out_rate, cumulative, dest, absorbing
+
 
 def simulate_chain_mttd(chain: MarkovChain, start, rng: np.random.Generator,
                         trials: int = 1000, max_events: int = 10_000_000) -> float:
     """Mean absorption time of ``chain`` from ``start`` by simulation."""
     if start in chain.absorbing:
         return 0.0
+    index, out_rate, cumulative, dest, absorbing = _compile_chain(chain)
+    state = np.full(trials, index[start], dtype=np.intp)
+    elapsed = np.zeros(trials, dtype=np.float64)
     total = 0.0
     events = 0
-    for _ in range(trials):
-        state = start
-        elapsed = 0.0
-        while state not in chain.absorbing:
-            moves = chain.transitions[state]
-            rates = np.array([rate for rate, _ in moves], dtype=np.float64)
-            out_rate = rates.sum()
-            elapsed += rng.exponential(1.0 / out_rate)
-            state = moves[rng.choice(len(moves), p=rates / out_rate)][1]
-            events += 1
-            if events > max_events:
-                raise RuntimeError("simulation exceeded the event budget")
-        total += elapsed
+    while state.size:
+        active = state.size
+        events += active
+        if events > max_events:
+            raise RuntimeError("simulation exceeded the event budget")
+        rates = out_rate[state]
+        if np.any(rates <= 0):
+            raise RuntimeError("transient state with no exits reached")
+        elapsed += rng.exponential(1.0 / rates)
+        draws = rng.random(active)
+        choice = (draws[:, None] >= cumulative[state]).sum(axis=1)
+        state = dest[state, choice]
+        done = absorbing[state]
+        if done.any():
+            total += float(elapsed[done].sum())
+            keep = ~done
+            state = state[keep]
+            elapsed = elapsed[keep]
     return total / trials
+
+
+def _nth_member_slot(mask: int, rank: int, length: int) -> int:
+    """The ``rank``-th (0-based) set bit of ``mask`` below ``length``."""
+    for slot in range(length):
+        if (mask >> slot) & 1:
+            if rank == 0:
+                return slot
+            rank -= 1
+    raise ValueError("rank exceeds population of mask")
 
 
 def simulate_group_mttd(code: Code, params: ReliabilityParams,
@@ -55,30 +120,123 @@ def simulate_group_mttd(code: Code, params: ReliabilityParams,
     """Mean time to data loss of one group by node-level simulation."""
     lam, mu = params.failure_rate, params.repair_rate
     length = code.length
+    parallel = params.repair == "parallel"
+    dense = length <= _VERDICT_TABLE_MAX_LENGTH
+    #: Codes wider than an int64 bitmask track failures only through
+    #: the boolean matrix; everything else also keeps mask ints.
+    wide = length > 63
+    verdicts = np.full(1 << length, -1, dtype=np.int8) if dense else None
+
+    def fatal_verdicts(masks: np.ndarray) -> np.ndarray:
+        """Vectorised data-loss lookup for failed-slot bitmasks."""
+        if dense:
+            known = verdicts[masks]
+            missing = np.unique(masks[known < 0])
+            if missing.size:
+                verdicts[missing] = code.can_recover_masks(missing)
+                known = verdicts[masks]
+            return known == 0
+        return ~code.can_recover_masks(masks)
+
+    failed = np.zeros((trials, length), dtype=bool)
+    mask = np.zeros(trials, dtype=np.int64)
+    count = np.zeros(trials, dtype=np.int64)
+    elapsed = np.zeros(trials, dtype=np.float64)
+    all_rows = np.arange(trials)
     total = 0.0
     events = 0
-    for _ in range(trials):
-        failed: set[int] = set()
-        elapsed = 0.0
-        while True:
-            alive = length - len(failed)
-            fail_rate = alive * lam
-            repair_rate = (len(failed) * mu if params.repair == "parallel"
-                           else (mu if failed else 0.0))
-            out_rate = fail_rate + repair_rate
-            elapsed += rng.exponential(1.0 / out_rate)
-            if rng.random() < fail_rate / out_rate:
-                healthy = [n for n in range(length) if n not in failed]
-                failed.add(healthy[rng.integers(len(healthy))])
-                if not code.can_recover(failed):
-                    break
+    while mask.size > _TAIL_ACTIVE_TRIALS:
+        active = mask.size
+        events += active
+        if events > max_events:
+            raise RuntimeError("simulation exceeded the event budget")
+        fail_rate = (length - count) * lam
+        out_rate = fail_rate + (count * mu if parallel else (count > 0) * mu)
+        elapsed += rng.exponential(1.0 / out_rate)
+        is_fail = rng.random(active) * out_rate < fail_rate
+        # Pick a uniform victim: the r-th live slot for failures, the
+        # r-th failed slot for repairs, via one cumulative-count scan
+        # (``failed ^ True`` flips the pool to the live slots).
+        pool = failed ^ is_fail[:, None]
+        pool_size = np.where(is_fail, length - count, count)
+        rank = (rng.random(active) * pool_size).astype(np.int32)
+        cumulative = pool.cumsum(axis=1, dtype=np.int32)
+        slot = (cumulative <= rank[:, None]).sum(axis=1)
+        failed[all_rows[:active], slot] ^= True
+        if not wide:
+            mask ^= np.int64(1) << slot
+        count += np.where(is_fail, 1, -1)
+        # Fatality checks only for failure events: repairs shrink the
+        # failure set and can never lose data, so querying them would
+        # just burn rank tests and cache entries.
+        dead = np.zeros(active, dtype=bool)
+        fail_rows = np.nonzero(is_fail)[0]
+        if fail_rows.size:
+            if wide:
+                dead[fail_rows] = [
+                    not code.can_recover(np.nonzero(failed[row])[0])
+                    for row in fail_rows
+                ]
             else:
-                victims = sorted(failed)
-                failed.remove(victims[rng.integers(len(victims))])
+                dead[fail_rows] = fatal_verdicts(mask[fail_rows])
+        if dead.any():
+            total += float(elapsed[dead].sum())
+            keep = ~dead
+            failed = failed[keep]
+            mask = mask[keep]
+            count = count[keep]
+            elapsed = elapsed[keep]
+    # Scalar drain: with only a handful of stragglers the per-round
+    # numpy overhead dominates, so finish them one event at a time
+    # against the (by now warm) verdict table, consuming random
+    # variates from pre-drawn blocks.
+    block = 1024
+    holding = scales = ranks = None
+    cursor = block
+    for row in range(mask.size):
+        # Rebuilt from the boolean row: Python ints are wide enough
+        # for any code length.
+        trial_mask = sum(1 << int(s) for s in np.nonzero(failed[row])[0])
+        down = int(count[row])
+        clock = float(elapsed[row])
+        while True:
             events += 1
             if events > max_events:
                 raise RuntimeError("simulation exceeded the event budget")
-        total += elapsed
+            if cursor == block:
+                holding = rng.exponential(size=block).tolist()
+                scales = rng.random(block).tolist()
+                ranks = rng.random(block).tolist()
+                cursor = 0
+            fail_rate = (length - down) * lam
+            out_rate = fail_rate + (down * mu if parallel
+                                    else (mu if down else 0.0))
+            clock += holding[cursor] / out_rate
+            chooser = scales[cursor]
+            picker = ranks[cursor]
+            cursor += 1
+            if chooser * out_rate < fail_rate:
+                rank = int(picker * (length - down))
+                live = ((1 << length) - 1) & ~trial_mask
+                trial_mask |= 1 << _nth_member_slot(live, rank, length)
+                down += 1
+                if dense:
+                    verdict = int(verdicts[trial_mask])
+                    if verdict < 0:
+                        verdict = int(code.can_recover(
+                            [s for s in range(length)
+                             if (trial_mask >> s) & 1]))
+                        verdicts[trial_mask] = verdict
+                    if verdict == 0:
+                        break
+                elif not code.can_recover(
+                        [s for s in range(length) if (trial_mask >> s) & 1]):
+                    break
+            else:
+                rank = int(picker * down)
+                trial_mask &= ~(1 << _nth_member_slot(trial_mask, rank, length))
+                down -= 1
+        total += clock
     return total / trials
 
 
