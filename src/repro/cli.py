@@ -3,12 +3,24 @@
 Usage::
 
     python -m repro table1
+    python -m repro table1 --mc-trials 600 --workers 4
     python -m repro fig3 --mu 4 --trials 30
     python -m repro fig4 --runs 10
-    python -m repro fig5
+    python -m repro fig5 --workers 4
     python -m repro repair
     python -m repro ablations
     python -m repro all
+
+Parallel runs
+-------------
+
+Every subcommand accepts ``--workers N`` to fan the experiment's sweep
+cells out over ``N`` processes (``0`` means one per CPU).  When the
+flag is absent the ``REPRO_WORKERS`` environment variable is consulted;
+otherwise the sweep runs serially.  Results are **bit-identical for any
+worker count**: every cell re-derives its random stream from
+``stable_seed(experiment, cell, trial)``, never from shared state (see
+:mod:`repro.experiments.engine`).
 """
 
 from __future__ import annotations
@@ -34,27 +46,35 @@ def _print_checks(checks: dict[str, bool]) -> None:
 
 
 def run_table1(args: argparse.Namespace) -> None:
-    result = table1.build_table1()
+    result = table1.build_table1(workers=args.workers)
     print(render_table(table1.Table1Result.HEADERS, result.as_rows(),
                        title="Table 1 (25-node system, calibrated)"))
     mttf = result.params.node_mttf_hours / 8766.0
     print(f"\ncalibrated node MTTF: {mttf:.1f} years "
           f"(MTTR {result.params.node_mttr_hours:.0f} h)")
     _print_checks(table1.shape_checks(result))
+    if getattr(args, "mc_trials", 0):
+        rows = table1.monte_carlo_validation(trials=args.mc_trials,
+                                             workers=args.workers)
+        print()
+        print(render_table(table1.MC_HEADERS, [r.as_list() for r in rows],
+                           title="Monte-Carlo validation (accelerated rates)"))
+        _print_checks(table1.mc_shape_checks(rows))
 
 
 def run_fig3(args: argparse.Namespace) -> None:
     if args.mu:
-        panels = {f"mu={args.mu}": fig3.locality_panel(args.mu, trials=args.trials)}
+        panels = {f"mu={args.mu}": fig3.locality_panel(
+            args.mu, trials=args.trials, workers=args.workers)}
     else:
-        panels = fig3.full_figure(trials=args.trials)
+        panels = fig3.full_figure(trials=args.trials, workers=args.workers)
     for name, panel in panels.items():
         print(f"\n=== Fig. 3 {name} ===")
         print(render_figure(panel))
 
 
 def run_fig4(args: argparse.Namespace) -> None:
-    panels = fig4.figure4(runs=args.runs)
+    panels = fig4.figure4(runs=args.runs, workers=args.workers)
     for name in ("job_time", "traffic", "locality"):
         print(f"\n=== Fig. 4 {name} ===")
         print(render_figure(panels[name]))
@@ -62,7 +82,7 @@ def run_fig4(args: argparse.Namespace) -> None:
 
 
 def run_fig5(args: argparse.Namespace) -> None:
-    panels = fig5.figure5(runs=args.runs)
+    panels = fig5.figure5(runs=args.runs, workers=args.workers)
     for name in ("traffic", "locality"):
         print(f"\n=== Fig. 5 {name} ===")
         print(render_figure(panels[name]))
@@ -70,7 +90,7 @@ def run_fig5(args: argparse.Namespace) -> None:
 
 
 def run_repair(args: argparse.Namespace) -> None:
-    measurements = repair_bandwidth.measure_all()
+    measurements = repair_bandwidth.measure_all(workers=args.workers)
     print(render_table(repair_bandwidth.HEADERS,
                        [m.as_list() for m in measurements],
                        title="Repair / degraded-read bandwidth (blocks)"))
@@ -78,11 +98,13 @@ def run_repair(args: argparse.Namespace) -> None:
 
 
 def run_ablations(args: argparse.Namespace) -> None:
-    print(render_figure(ablations.delay_sensitivity(trials=args.trials)))
+    print(render_figure(ablations.delay_sensitivity(trials=args.trials,
+                                                    workers=args.workers)))
     print()
-    print(render_figure(ablations.slots_crossover(trials=args.trials)))
+    print(render_figure(ablations.slots_crossover(trials=args.trials,
+                                                  workers=args.workers)))
     print()
-    rows = ablations.degraded_job_sweep()
+    rows = ablations.degraded_job_sweep(workers=args.workers)
     print(render_table(list(rows[0].keys()), [list(r.values()) for r in rows],
                        title="Degraded MapReduce traffic"))
     print()
@@ -108,28 +130,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="storage overhead / length / MTTDL")
+    def add_workers(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="fan sweep cells out over N processes (0: one per CPU; "
+                 "default: $REPRO_WORKERS or serial); results are "
+                 "bit-identical for any worker count")
+
+    p_table1 = sub.add_parser("table1",
+                              help="storage overhead / length / MTTDL")
+    p_table1.add_argument("--mc-trials", type=int, default=0,
+                          help="also validate the MTTDL chains by "
+                               "Monte-Carlo with this many trials")
+    add_workers(p_table1)
 
     p_fig3 = sub.add_parser("fig3", help="locality vs load panels")
     p_fig3.add_argument("--mu", type=int, default=None,
                         help="map slots per node (default: all panels)")
     p_fig3.add_argument("--trials", type=int, default=30)
+    add_workers(p_fig3)
 
     p_fig4 = sub.add_parser("fig4", help="Terasort on set-up 1")
     p_fig4.add_argument("--runs", type=int, default=10)
+    add_workers(p_fig4)
 
     p_fig5 = sub.add_parser("fig5", help="Terasort on set-up 2")
     p_fig5.add_argument("--runs", type=int, default=10)
+    add_workers(p_fig5)
 
-    sub.add_parser("repair", help="repair-bandwidth measurements")
+    p_repair = sub.add_parser("repair", help="repair-bandwidth measurements")
+    add_workers(p_repair)
 
     p_ablate = sub.add_parser("ablations", help="design-knob sweeps")
     p_ablate.add_argument("--trials", type=int, default=20)
+    add_workers(p_ablate)
 
     p_all = sub.add_parser("all", help="everything")
     p_all.add_argument("--trials", type=int, default=20)
     p_all.add_argument("--runs", type=int, default=8)
     p_all.add_argument("--mu", type=int, default=None)
+    p_all.add_argument("--mc-trials", type=int, default=0)
+    add_workers(p_all)
     return parser
 
 

@@ -19,6 +19,8 @@ from .placement import (
     RandomSpreadPlacement,
     RoundRobinPlacement,
     make_placement,
+    rack_loss_survivability,
+    rack_slot_groups,
 )
 from .plan_runtime import ClusterExecutionError, run_read_plan, run_repair_plan
 from .raidnode import RaidNode, RaidPolicy, RaidReport
@@ -41,6 +43,8 @@ __all__ = [
     "RackAwarePlacement",
     "PlacementError",
     "make_placement",
+    "rack_loss_survivability",
+    "rack_slot_groups",
     "MiniHDFS",
     "FailureInjector",
     "FailureKind",

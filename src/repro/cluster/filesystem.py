@@ -25,6 +25,12 @@ from .plan_runtime import run_read_plan, run_repair_plan
 from .topology import ClusterTopology
 
 
+#: Cap on the data payload stacked into one batched encode call; keeps
+#: the write path's transient memory bounded for huge files while still
+#: amortising kernel overhead across many stripes.
+ENCODE_BATCH_BYTES = 64 * 2**20
+
+
 class MiniHDFS:
     """An in-memory coded DFS over a cluster topology."""
 
@@ -50,7 +56,14 @@ class MiniHDFS:
 
         The final stripe is zero-padded to a whole number of blocks, as
         HDFS-RAID does; the true length is kept in the metadata so reads
-        return exactly the original bytes.
+        return exactly the original bytes.  Stripes encode through
+        batched kernel applications
+        (:meth:`~repro.core.Code.encode_stripes`, batches capped at
+        :data:`ENCODE_BATCH_BYTES` of payload so transient memory stays
+        bounded for huge files) — bit-identical to stripe-by-stripe
+        encoding, with the per-call overhead amortised across the file;
+        placement and ledger charges are per stripe and per block
+        exactly as before.
         """
         code = make_code(code_name)
         info = FileInfo(
@@ -60,20 +73,25 @@ class MiniHDFS:
         stripe_payload = code.k * self.block_bytes
         padded = data + b"\x00" * (-len(data) % stripe_payload) \
             if data else b"\x00" * stripe_payload
-        for stripe_index in range(len(padded) // stripe_payload):
-            chunk = padded[stripe_index * stripe_payload:(stripe_index + 1) * stripe_payload]
-            blocks = [
-                chunk[i * self.block_bytes:(i + 1) * self.block_bytes]
-                for i in range(code.k)
+        stripe_count = len(padded) // stripe_payload
+        batch = max(1, ENCODE_BATCH_BYTES // stripe_payload)
+        for start in range(0, stripe_count, batch):
+            stripe_blocks = [
+                [
+                    padded[index * stripe_payload + i * self.block_bytes:
+                           index * stripe_payload + (i + 1) * self.block_bytes]
+                    for i in range(code.k)
+                ]
+                for index in range(start, min(start + batch, stripe_count))
             ]
-            stripe = self._store_stripe(info, stripe_index, code, blocks)
-            info.stripes.append(stripe)
+            for offset, encoded in enumerate(code.encode_stripes(stripe_blocks)):
+                stripe = self._store_stripe(info, start + offset, code, encoded)
+                info.stripes.append(stripe)
         self.namenode.create_file(info)
         return info
 
     def _store_stripe(self, info: FileInfo, stripe_index: int, code: Code,
-                      data_blocks: list[bytes]) -> StripeInfo:
-        encoded = code.encode(data_blocks)
+                      encoded: list) -> StripeInfo:
         slot_nodes = self.placement.place_stripe(code, self.topology, self._rng)
         stripe = StripeInfo(info.name, stripe_index, code, slot_nodes)
         for symbol in code.layout.symbols:
@@ -130,23 +148,49 @@ class MiniHDFS:
         """Bring a node back (blocks intact only after transient failures)."""
         self.topology.restore(node_id)
 
+    def _assert_repairable(self, stripe_patterns) -> None:
+        """Fail fast: resolve every stripe's failure pattern through one
+        bulk decodability query per code before moving any bytes.
+
+        Replaces the one-at-a-time ``can_recover`` probes the planners
+        would otherwise issue mid-repair (a ROADMAP open item): distinct
+        patterns deduplicate, each code answers them in a single
+        :meth:`~repro.core.Code.can_recover_many` call, and the
+        planners' own checks then hit a warm cache.
+        """
+        by_code: dict[int, tuple[Code, set[tuple[int, ...]]]] = {}
+        for stripe, failed_slots in stripe_patterns:
+            _, patterns = by_code.setdefault(id(stripe.code),
+                                             (stripe.code, set()))
+            patterns.add(tuple(failed_slots))
+        for code, patterns in by_code.values():
+            keys = sorted(patterns)
+            for key, ok in zip(keys, code.can_recover_many(keys)):
+                if not ok:
+                    raise UnrecoverableStripeError(
+                        code.name, key, code.layout.lost_symbols(set(key)))
+
     def repair_node(self, node_id: int, replacement: int | None = None) -> int:
         """Rebuild every stripe touching a failed node; returns bytes moved.
 
         The rebuilt blocks land on ``replacement`` (default: the node
         itself, which is restored empty first).  Raises
         :class:`~repro.core.UnrecoverableStripeError` if any stripe has
-        already lost data.
+        already lost data — detected up front with a bulk decodability
+        query, before any bytes move.
         """
         if self.topology.is_alive(node_id):
             raise ValueError(f"node {node_id} is not failed")
         target = replacement if replacement is not None else node_id
         before = self.ledger.total_bytes("repair")
         failed = set(self.topology.failed_nodes())
-        for stripe in self.namenode.stripes_on_node(node_id):
-            failed_slots = stripe.failed_slots(failed)
-            if not failed_slots:
-                continue
+        worklist = [
+            (stripe, failed_slots)
+            for stripe in self.namenode.stripes_on_node(node_id)
+            if (failed_slots := stripe.failed_slots(failed))
+        ]
+        self._assert_repairable(worklist)
+        for stripe, failed_slots in worklist:
             plan = stripe.code.plan_node_repair(failed_slots)
             replacements = {
                 slot: (target if stripe.slot_nodes[slot] == node_id
@@ -185,6 +229,7 @@ class MiniHDFS:
             return 0
         before = self.ledger.total_bytes("repair")
         done: set[tuple[str, int]] = set()
+        worklist = []
         for node_id in sorted(failed):
             for stripe in self.namenode.stripes_on_node(node_id):
                 key = (stripe.file_name, stripe.stripe_index)
@@ -192,20 +237,22 @@ class MiniHDFS:
                     continue
                 done.add(key)
                 failed_slots = stripe.failed_slots(failed)
-                if not failed_slots:
-                    continue
-                plan = stripe.code.plan_node_repair(failed_slots)
-                replacements = {slot: stripe.slot_nodes[slot]
-                                for slot in failed_slots}
-                recovered = run_repair_plan(
-                    stripe, plan, self.datanodes, self.topology, self.ledger,
-                    replacements)
-                for slot in failed_slots:
-                    target = stripe.slot_nodes[slot]
-                    for symbol_index in stripe.code.layout.symbols_on_slot(slot):
-                        self.datanodes[target].put(
-                            stripe.block_id(symbol_index),
-                            recovered[symbol_index])
+                if failed_slots:
+                    worklist.append((stripe, failed_slots))
+        self._assert_repairable(worklist)
+        for stripe, failed_slots in worklist:
+            plan = stripe.code.plan_node_repair(failed_slots)
+            replacements = {slot: stripe.slot_nodes[slot]
+                            for slot in failed_slots}
+            recovered = run_repair_plan(
+                stripe, plan, self.datanodes, self.topology, self.ledger,
+                replacements)
+            for slot in failed_slots:
+                target = stripe.slot_nodes[slot]
+                for symbol_index in stripe.code.layout.symbols_on_slot(slot):
+                    self.datanodes[target].put(
+                        stripe.block_id(symbol_index),
+                        recovered[symbol_index])
         for node_id in failed:
             self.topology.restore(node_id)
         return self.ledger.total_bytes("repair") - before

@@ -28,6 +28,33 @@ class PlacementError(RuntimeError):
     """Raised when a stripe cannot be placed on the available nodes."""
 
 
+def rack_slot_groups(slot_nodes, topology: ClusterTopology) -> dict[int, tuple[int, ...]]:
+    """Rack -> stripe slots a placement put there, in rack order."""
+    groups: dict[int, list[int]] = {}
+    for slot, node in enumerate(slot_nodes):
+        groups.setdefault(topology.rack_of(node), []).append(slot)
+    return {rack: tuple(groups[rack]) for rack in sorted(groups)}
+
+
+def rack_loss_survivability(code: Code, slot_nodes,
+                            topology: ClusterTopology) -> dict[int, bool]:
+    """Rack -> does the stripe survive losing that whole rack?
+
+    All racks are resolved through **one**
+    :meth:`~repro.core.Code.can_recover_many` bulk query (the
+    one-at-a-time ``can_recover`` loop this replaces was a ROADMAP open
+    item).  For the paper's rack-aware heptagon-local deployment the
+    answer is the confinement contract made explicit: the global-parity
+    rack is survivable, while losing a whole heptagon rack strands that
+    heptagon's doubly-replicated symbols — which is why the paper's
+    guarantee is that a rack failure touches at most *one* domain, not
+    that rack loss is tolerated outright.
+    """
+    groups = rack_slot_groups(slot_nodes, topology)
+    verdicts = code.can_recover_many(list(groups.values()))
+    return {rack: bool(ok) for rack, ok in zip(groups, verdicts)}
+
+
 class PlacementPolicy(ABC):
     """Strategy choosing the physical nodes for each new stripe."""
 
@@ -79,7 +106,17 @@ class RackAwarePlacement(PlacementPolicy):
     and the global-parity node; each is placed inside a distinct rack so
     a rack loss hits at most one domain.  Codes without declared domains
     fall back to spreading slots across racks round-robin.
+
+    Domain placements are validated after the deal (``validate=False``
+    skips it): every rack must host slots of at most one failure
+    domain, and every rack holding only global parities must survive
+    its own loss — checked with a single bulk
+    :meth:`~repro.core.Code.can_recover_many` query
+    (:func:`rack_loss_survivability` offers the full per-rack report).
     """
+
+    def __init__(self, validate: bool = True):
+        self.validate = validate
 
     def place_stripe(self, code: Code, topology: ClusterTopology,
                      rng: np.random.Generator) -> tuple[int, ...]:
@@ -114,18 +151,54 @@ class RackAwarePlacement(PlacementPolicy):
                 picks = rng.choice(len(members), size=len(slots), replace=False)
                 for slot, pick in zip(slots, picks):
                     assignment[slot] = members[pick]
-            return tuple(assignment[slot] for slot in range(code.length))
+            chosen = tuple(assignment[slot] for slot in range(code.length))
+            if self.validate:
+                self._validate_domains(code, groups, chosen, topology)
+            return chosen
+        return self._deal_across_racks(code, topology, rng)
+
+    def _validate_domains(self, code: Code, domains: dict[str, tuple[int, ...]],
+                          slot_nodes: tuple[int, ...],
+                          topology: ClusterTopology) -> None:
+        """The paper's rack contract, checked with one bulk query.
+
+        A rack failure must touch at most one failure domain, and a
+        rack holding only global parities (the "G" domain) must be
+        survivable — that rack is the one whose loss the layout
+        promises to absorb outright.
+        """
+        owner = {slot: name for name, slots in domains.items()
+                 for slot in slots}
+        global_racks: dict[int, tuple[int, ...]] = {}
+        for rack, slots in rack_slot_groups(slot_nodes, topology).items():
+            owners = {owner[slot] for slot in slots}
+            if len(owners) > 1:
+                raise PlacementError(
+                    f"rack {rack} hosts slots of domains {sorted(owners)}; "
+                    "a rack failure must touch at most one domain"
+                )
+            if owners == {"G"}:
+                global_racks[rack] = slots
+        if global_racks:
+            verdicts = code.can_recover_many(list(global_racks.values()))
+            for rack, ok in zip(global_racks, verdicts):
+                if not ok:
+                    raise PlacementError(
+                        f"losing global-parity rack {rack} would lose data"
+                    )
+
+    def _deal_across_racks(self, code: Code, topology: ClusterTopology,
+                           rng: np.random.Generator) -> tuple[int, ...]:
         # Generic fallback: deal slots across racks like cards.
         per_rack = {
             rack: [n for n in topology.rack_members(rack) if topology.is_alive(n)]
-            for rack in range(rack_count)
+            for rack in range(topology.rack_count())
         }
         for members in per_rack.values():
             rng.shuffle(members)
         chosen: list[int] = []
         rack_order = list(per_rack)
         rng.shuffle(rack_order)
-        cursor = 0
         while len(chosen) < code.length:
             progressed = False
             for rack in rack_order:
@@ -134,7 +207,6 @@ class RackAwarePlacement(PlacementPolicy):
                     progressed = True
                     if len(chosen) == code.length:
                         break
-            cursor += 1
             if not progressed:
                 raise PlacementError(
                     f"{code.name} needs {code.length} nodes; cluster exhausted"

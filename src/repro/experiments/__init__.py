@@ -12,13 +12,25 @@
 Each module exposes builders returning structured results plus
 ``shape_checks`` functions asserting the paper's qualitative claims;
 the benchmark suite prints them via :mod:`repro.experiments.report`.
+
+Every sweep runs on the declarative engine
+(:mod:`repro.experiments.engine`): experiments declare grids of
+:class:`~repro.experiments.engine.Cell` specs and the engine executes
+them serially or over multiprocessing workers (``workers=N`` on every
+builder, ``--workers`` on the CLI, ``REPRO_WORKERS`` in the
+environment) with bit-identical results at any worker count.
 """
 
 from . import ablations, fig2, fig3, fig4, fig5, repair_bandwidth, table1, transient
+from .engine import Cell, resolve_workers, run_cells, run_keyed
 from .report import render_figure, render_series_comparison, render_table
 from .runner import CellStats, FigureResult, Series, average_over_trials, trial_rng
 
 __all__ = [
+    "Cell",
+    "run_cells",
+    "run_keyed",
+    "resolve_workers",
     "table1",
     "fig2",
     "fig3",

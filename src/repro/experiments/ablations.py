@@ -26,7 +26,19 @@ import numpy as np
 from ..core import make_code
 from ..scheduling import DelayScheduler
 from ..workloads import workload_for_load
-from .runner import CellStats, FigureResult, Series, average_over_trials
+from .engine import Cell, run_cells
+from .runner import CellStats, FigureResult, Series
+
+
+def delay_locality_trial(rng, code_name: str, load: float, node_count: int,
+                         slots_per_node: int,
+                         max_skips: int | None = None) -> float:
+    """One seeded delay-scheduler locality measurement."""
+    scheduler = (DelayScheduler() if max_skips is None
+                 else DelayScheduler(max_skips=max_skips))
+    tasks = workload_for_load(code_name, load, node_count, slots_per_node, rng)
+    return scheduler.assign(tasks, node_count, slots_per_node,
+                            rng).locality_percent()
 
 
 # ----------------------------------------------------------------------
@@ -77,29 +89,37 @@ def degraded_read_cost_per_task(code_name: str) -> int | None:
     return degraded_read_bandwidth(make_code(code_name))
 
 
+def degraded_job_cell(code_name: str, degraded_tasks: int,
+                      block_mb: int) -> dict[str, object] | None:
+    """One code's degraded-traffic row (``None``: replica always up)."""
+    per_task = degraded_read_cost_per_task(code_name)
+    if per_task is None:
+        return None
+    extra_gb = degraded_tasks * per_task * block_mb / 1024
+    return {
+        "code": code_name,
+        "degraded tasks": degraded_tasks,
+        "blocks per rebuild": per_task,
+        "extra traffic (GB)": round(extra_gb, 2),
+    }
+
+
 def degraded_job_sweep(codes=("pentagon", "heptagon", "(10,9) RAID+m"),
                        degraded_fraction: float = 0.1,
                        load: float = 75.0, node_count: int = 25,
                        slots_per_node: int = 4,
-                       block_mb: int = 128) -> list[dict[str, object]]:
+                       block_mb: int = 128,
+                       workers: int | None = None) -> list[dict[str, object]]:
     """Extra network GB a job pays when a fraction of its blocks need
     on-the-fly reconstruction (both replicas transiently down)."""
-    rows = []
     from ..scheduling import tasks_for_load
     task_count = tasks_for_load(load, node_count, slots_per_node)
     degraded_tasks = round(task_count * degraded_fraction)
-    for code_name in codes:
-        per_task = degraded_read_cost_per_task(code_name)
-        if per_task is None:
-            continue
-        extra_gb = degraded_tasks * per_task * block_mb / 1024
-        rows.append({
-            "code": code_name,
-            "degraded tasks": degraded_tasks,
-            "blocks per rebuild": per_task,
-            "extra traffic (GB)": round(extra_gb, 2),
-        })
-    return rows
+    cells = [Cell(experiment="degraded-mr", key=(code_name,),
+                  fn=degraded_job_cell,
+                  args=(code_name, degraded_tasks, block_mb))
+             for code_name in codes]
+    return [row for row in run_cells(cells, workers) if row is not None]
 
 
 # ----------------------------------------------------------------------
@@ -108,63 +128,66 @@ def degraded_job_sweep(codes=("pentagon", "heptagon", "(10,9) RAID+m"),
 def delay_sensitivity(code_name: str = "pentagon", load: float = 100.0,
                       slots_per_node: int = 2, node_count: int = 25,
                       skip_levels=(0, 5, 12, 25, 50, 100),
-                      trials: int = 20) -> FigureResult:
+                      trials: int = 20,
+                      workers: int | None = None) -> FigureResult:
     """Locality as a function of the delay scheduler's skip budget."""
     result = FigureResult(
         title=f"Delay-scheduler patience vs locality ({code_name}, "
               f"load {load:.0f}%, mu={slots_per_node})",
         x_label="max skips", y_label="data locality %",
     )
+    cells = [
+        Cell(experiment="delay-sens", key=(code_name, load, max_skips),
+             fn=delay_locality_trial,
+             args=(code_name, load, node_count, slots_per_node, max_skips),
+             trials=trials)
+        for max_skips in skip_levels
+    ]
     series = Series(code_name)
-    for max_skips in skip_levels:
-        scheduler = DelayScheduler(max_skips=max_skips)
-
-        def one_trial(rng) -> float:
-            tasks = workload_for_load(code_name, load, node_count,
-                                      slots_per_node, rng)
-            return scheduler.assign(tasks, node_count, slots_per_node,
-                                    rng).locality_percent()
-
-        series.add(max_skips, average_over_trials(
-            one_trial, trials, "delay-sens", code_name, load, max_skips))
+    for max_skips, stats in zip(skip_levels, run_cells(cells, workers)):
+        series.add(max_skips, stats)
     result.series.append(series)
     return result
 
 
 def slots_crossover(code_name: str = "pentagon", load: float = 100.0,
                     node_count: int = 25, slot_range=(1, 2, 3, 4, 6, 8),
-                    trials: int = 20) -> FigureResult:
+                    trials: int = 20,
+                    workers: int | None = None) -> FigureResult:
     """Locality gap to 2-rep as map slots grow (the paper's main thesis)."""
     result = FigureResult(
         title=f"Locality vs map slots at {load:.0f}% load",
         x_label="map slots per node", y_label="data locality %",
     )
-    for name in ("2-rep", code_name):
+    names = ("2-rep", code_name)
+    cells = [
+        Cell(experiment="slots-cross", key=(name, load, slots),
+             fn=delay_locality_trial,
+             args=(name, load, node_count, slots),
+             trials=trials)
+        for name in names
+        for slots in slot_range
+    ]
+    stats = iter(run_cells(cells, workers))
+    for name in names:
         series = Series(name)
         for slots in slot_range:
-            def one_trial(rng) -> float:
-                tasks = workload_for_load(name, load, node_count, slots, rng)
-                return DelayScheduler().assign(
-                    tasks, node_count, slots, rng).locality_percent()
-
-            series.add(slots, average_over_trials(
-                one_trial, trials, "slots-cross", name, load, slots))
+            series.add(slots, next(stats))
         result.series.append(series)
     return result
 
 
 def heptagon_local_equivalence(load: float = 100.0, slots_per_node: int = 4,
                                node_count: int = 25,
-                               trials: int = 30) -> dict[str, CellStats]:
+                               trials: int = 30,
+                               workers: int | None = None) -> dict[str, CellStats]:
     """Section 3.2: heptagon-local locality equals plain heptagon's."""
-    out: dict[str, CellStats] = {}
-    for code_name in ("heptagon", "heptagon-local"):
-        def one_trial(rng) -> float:
-            tasks = workload_for_load(code_name, load, node_count,
-                                      slots_per_node, rng)
-            return DelayScheduler().assign(
-                tasks, node_count, slots_per_node, rng).locality_percent()
-
-        out[code_name] = average_over_trials(
-            one_trial, trials, "hl-equiv", code_name, load, slots_per_node)
-    return out
+    codes = ("heptagon", "heptagon-local")
+    cells = [
+        Cell(experiment="hl-equiv", key=(code_name, load, slots_per_node),
+             fn=delay_locality_trial,
+             args=(code_name, load, node_count, slots_per_node),
+             trials=trials)
+        for code_name in codes
+    ]
+    return dict(zip(codes, run_cells(cells, workers)))

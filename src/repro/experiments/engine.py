@@ -1,0 +1,262 @@
+"""Declarative sweep engine: cell grids fanned out over processes.
+
+Every figure/table in :mod:`repro.experiments` is a sweep over
+(code, scheduler, load, ...) cells, each cell either a single
+deterministic computation or an average over seeded trials.  Before
+this engine each module ran its own hand-rolled loop — single-process
+by construction, and numpy holds the GIL on the ``take``/``xor`` hot
+paths, so threads cannot help.  The engine turns the sweep into *data*:
+an experiment declares a grid of self-describing :class:`Cell` specs
+and :func:`run_cells` executes them serially or over a
+``multiprocessing`` pool with chunked dispatch.
+
+Determinism is by construction, not by convention:
+
+* every trial re-derives its generator from
+  ``stable_seed(experiment, *seed_key, trial)`` — no RNG state is ever
+  shared between cells, trials or worker processes;
+* trial sharding (``shard_trials``) splits a cell's trial *range* into
+  work units whose boundaries depend only on the cell spec, never on
+  the worker count; merged values are ordered by trial index, so every
+  shard layout produces bit-identical results;
+* single-call cells (``trials=None``) are pure functions of their
+  pickled args.
+
+Consequently ``workers=1`` and ``workers=N`` agree exactly, and any
+individual cell can be re-run in isolation (:meth:`Cell.run`) and
+reproduce its sweep value — both properties are asserted for every
+ported experiment in ``tests/test_engine.py``.
+
+Worker resolution: an explicit ``workers`` argument wins; otherwise the
+``REPRO_WORKERS`` environment variable; otherwise serial.  ``workers=0``
+(or a negative count) means "one per CPU".
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from multiprocessing import get_context
+
+from .runner import CellStats, trial_rng
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Live pools keyed by worker count, reused across :func:`run_cells`
+#: calls — pool start-up costs ~0.1 s per worker on sandboxed kernels,
+#: which would otherwise swamp sub-second sweeps.  Safe to reuse
+#: because work units reach workers as pickled ``(fn, args, seeds,
+#: range)`` tuples; no parent state leaks.
+_POOLS: dict[int, object] = {}
+
+
+def shutdown_pools() -> None:
+    """Terminate every cached worker pool (registered via atexit)."""
+    for pool in _POOLS.values():
+        pool.terminate()
+        pool.join()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One self-describing sweep cell.
+
+    Attributes:
+        experiment: sweep tag, the first seed component (``"fig3"``,
+            ``"delay-sens"``, ...).
+        key: the cell's coordinates in the grid; unique per sweep.
+        fn: a *top-level, picklable* function.  Trial cells
+            (``trials`` set) are called as ``fn(rng, *args)`` once per
+            trial; single-call cells as ``fn(*args)`` exactly once.
+        args: extra positional arguments for ``fn`` (must pickle).
+        trials: number of seeded trials, or ``None`` for a single call.
+        seed_key: seed components after ``experiment``; defaults to
+            ``key``.  Kept separate so cells may share trial streams
+            (Fig. 3 evaluates every scheduler on the same placements).
+        reduce: merges the trial-ordered value list into the cell
+            result; defaults to :meth:`CellStats.from_values`.  Runs in
+            the parent process, so it need not pickle.
+        shard_trials: max trials per work unit.  Heavy Monte-Carlo
+            cells set this so one cell fans out over several workers;
+            results are unaffected (see module docstring).
+    """
+
+    experiment: str
+    key: tuple
+    fn: Callable[..., object]
+    args: tuple = ()
+    trials: int | None = None
+    seed_key: tuple | None = None
+    reduce: Callable[[list], object] | None = None
+    shard_trials: int | None = None
+
+    def __post_init__(self) -> None:
+        qualname = getattr(self.fn, "__qualname__", "")
+        if "<locals>" in qualname or "<lambda>" in qualname:
+            raise ValueError(
+                f"cell fn {qualname!r} is not a top-level function; "
+                "nested functions and lambdas cannot cross process "
+                "boundaries"
+            )
+        if self.trials is not None and self.trials < 1:
+            raise ValueError("a trial cell needs at least one trial")
+        if self.shard_trials is not None and self.shard_trials < 1:
+            raise ValueError("shard_trials must be positive")
+
+    @property
+    def seed_components(self) -> tuple:
+        base = self.key if self.seed_key is None else self.seed_key
+        return (self.experiment, *base)
+
+    def unit_payload(self, lo: int, hi: int) -> tuple:
+        """The picklable work-unit tuple shipped to a worker.
+
+        Deliberately *not* the cell itself: only ``fn``, ``args`` and
+        the seed components cross the process boundary, so ``reduce``
+        (which runs in the parent) really need not pickle.
+        """
+        if self.trials is None:
+            return (self.fn, self.args, None, 0, 0)
+        return (self.fn, self.args, self.seed_components, lo, hi)
+
+    def finish(self, values: list):
+        """Reduce trial-ordered values into the cell result."""
+        if self.reduce is not None:
+            return self.reduce(values)
+        return CellStats.from_values(values)
+
+    def run(self):
+        """Run this cell alone, serially — reproduces its sweep value."""
+        if self.trials is None:
+            return self.fn(*self.args)
+        return self.finish(_run_unit(self.unit_payload(0, self.trials)))
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count: argument, else ``REPRO_WORKERS``, else 1.
+
+    Zero or negative means one worker per CPU.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer worker count, "
+                f"got {env!r}"
+            ) from None
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def _plan_units(cells: Sequence[Cell]) -> list[tuple[int, int, int]]:
+    """Shard every cell into ``(cell_index, trial_lo, trial_hi)`` units.
+
+    Boundaries are a pure function of the cell specs, so the unit list
+    — and therefore every merged result — is identical for any worker
+    count.
+    """
+    units: list[tuple[int, int, int]] = []
+    for index, cell in enumerate(cells):
+        if cell.trials is None:
+            units.append((index, 0, 0))
+            continue
+        step = cell.shard_trials or cell.trials
+        for lo in range(0, cell.trials, step):
+            units.append((index, lo, min(lo + step, cell.trials)))
+    return units
+
+
+def _run_unit(payload: tuple):
+    """Execute one work unit (top-level so it pickles to workers).
+
+    Single-call units (``seeds is None``) return ``fn(*args)``; trial
+    units return the value list for trials ``lo..hi-1``, each evaluated
+    against its own generator.
+    """
+    fn, args, seeds, lo, hi = payload
+    if seeds is None:
+        return fn(*args)
+    return [fn(trial_rng(*seeds, trial), *args) for trial in range(lo, hi)]
+
+
+def _pool_context():
+    """Prefer fork (cheap, shares warmed caches); fall back to default."""
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        return get_context()
+
+
+def _pool(workers: int):
+    """A cached pool of ``workers`` processes, created on first use."""
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = _POOLS[workers] = _pool_context().Pool(processes=workers)
+    return pool
+
+
+def run_cells(cells: Iterable[Cell], workers: int | None = None) -> list:
+    """Run every cell; returns results aligned with the input order.
+
+    With ``workers`` resolving above 1 the units fan out over a process
+    pool with chunked dispatch; otherwise they run in-process.  Either
+    way the merged results are bit-identical (asserted by the engine's
+    test suite for every ported experiment).
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    units = _plan_units(cells)
+    workers = resolve_workers(workers)
+    payloads = [cells[index].unit_payload(lo, hi) for index, lo, hi in units]
+    if workers <= 1 or len(units) == 1:
+        outputs = [_run_unit(payload) for payload in payloads]
+    else:
+        # The pool is cached at the *resolved* count (idle workers are
+        # harmless; a second pool per unit-count would not be).
+        effective = min(workers, len(units))
+        chunksize = max(1, len(payloads) // (effective * 4))
+        outputs = _pool(workers).map(_run_unit, payloads,
+                                     chunksize=chunksize)
+    # Merge: units were planned in cell order with ascending trial
+    # ranges and pool.map preserves order, so grouping by cell index
+    # concatenates each cell's values in trial order.
+    results: list = [None] * len(cells)
+    pending: dict[int, list] = {}
+    for (index, _, _), output in zip(units, outputs):
+        cell = cells[index]
+        if cell.trials is None:
+            results[index] = output
+        else:
+            pending.setdefault(index, []).extend(output)
+    for index, values in pending.items():
+        results[index] = cells[index].finish(values)
+    return results
+
+
+def run_keyed(cells: Iterable[Cell], workers: int | None = None) -> dict:
+    """:func:`run_cells`, returned as ``{cell.key: result}``.
+
+    Keys must be unique across the batch (duplicate keys are a spec
+    bug: two cells would silently shadow each other).
+    """
+    cells = list(cells)
+    seen: set = set()
+    for cell in cells:
+        if cell.key in seen:
+            raise ValueError(f"duplicate cell key {cell.key!r}")
+        seen.add(cell.key)
+    return {cell.key: result
+            for cell, result in zip(cells, run_cells(cells, workers))}

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from ..scheduling import make_scheduler
 from ..workloads import workload_for_load
-from .runner import CellStats, FigureResult, Series, average_over_trials
+from .engine import Cell, run_cells
+from .runner import CellStats, FigureResult, Series
 
 #: Cluster size used throughout the paper's simulation section.
 NODE_COUNT = 25
@@ -36,24 +37,38 @@ LOADS = (25.0, 50.0, 75.0, 100.0)
 SCHEDULER_LABELS = {"delay": "DS", "max-matching": "MM", "peeling": "peel"}
 
 
-def locality_cell(code_name: str, scheduler_name: str, load: float,
-                  slots_per_node: int, node_count: int = NODE_COUNT,
-                  trials: int = 30) -> CellStats:
-    """Mean data locality (%) for one (code, scheduler, load, mu) cell."""
+def locality_trial(rng, code_name: str, scheduler_name: str, load: float,
+                   slots_per_node: int, node_count: int) -> float:
+    """One seeded locality measurement (the engine's per-trial unit)."""
     scheduler = make_scheduler(scheduler_name)
+    tasks = workload_for_load(code_name, load, node_count, slots_per_node, rng)
+    assignment = scheduler.assign(tasks, node_count, slots_per_node, rng)
+    return assignment.locality_percent()
 
-    def one_trial(rng) -> float:
-        tasks = workload_for_load(code_name, load, node_count, slots_per_node, rng)
-        assignment = scheduler.assign(tasks, node_count, slots_per_node, rng)
-        return assignment.locality_percent()
 
-    # The trial seed deliberately excludes the scheduler name: every
+def _cell(code_name: str, scheduler_name: str, load: float,
+          slots_per_node: int, node_count: int, trials: int) -> Cell:
+    # The seed key deliberately excludes the scheduler name: every
     # scheduler is evaluated on the *same* stripe placements, so the
     # max-matching benchmark dominates the others trial-by-trial, as in
     # the paper's paired comparison.
-    return average_over_trials(
-        one_trial, trials, "fig3", code_name, load, slots_per_node
+    return Cell(
+        experiment="fig3",
+        key=(code_name, scheduler_name, load, slots_per_node),
+        seed_key=(code_name, load, slots_per_node),
+        fn=locality_trial,
+        args=(code_name, scheduler_name, load, slots_per_node, node_count),
+        trials=trials,
     )
+
+
+def locality_cell(code_name: str, scheduler_name: str, load: float,
+                  slots_per_node: int, node_count: int = NODE_COUNT,
+                  trials: int = 30, workers: int | None = None) -> CellStats:
+    """Mean data locality (%) for one (code, scheduler, load, mu) cell."""
+    cell = _cell(code_name, scheduler_name, load, slots_per_node,
+                 node_count, trials)
+    return run_cells([cell], workers)[0]
 
 
 def locality_panel(slots_per_node: int,
@@ -61,22 +76,28 @@ def locality_panel(slots_per_node: int,
                    schedulers: tuple[str, ...] = ("delay", "max-matching"),
                    loads: tuple[float, ...] = LOADS,
                    node_count: int = NODE_COUNT,
-                   trials: int = 30) -> FigureResult:
+                   trials: int = 30,
+                   workers: int | None = None) -> FigureResult:
     """One Fig. 3 panel: locality vs load for every (code, scheduler) pair."""
     result = FigureResult(
         title=f"Fig. 3 panel (mu={slots_per_node} map slots/node, "
               f"{node_count} nodes)",
         x_label="load %", y_label="data locality %",
     )
+    cells = [
+        _cell(code_name, scheduler_name, load, slots_per_node,
+              node_count, trials)
+        for code_name in codes
+        for scheduler_name in schedulers
+        for load in loads
+    ]
+    stats = iter(run_cells(cells, workers))
     for code_name in codes:
         for scheduler_name in schedulers:
             label = f"{_short(code_name)}-{SCHEDULER_LABELS[scheduler_name]}"
             series = Series(label)
             for load in loads:
-                series.add(load, locality_cell(
-                    code_name, scheduler_name, load, slots_per_node,
-                    node_count=node_count, trials=trials,
-                ))
+                series.add(load, next(stats))
             result.series.append(series)
     return result
 
@@ -85,22 +106,24 @@ def peeling_panel(slots_per_node: int = 4,
                   codes: tuple[str, ...] = ("pentagon", "heptagon"),
                   loads: tuple[float, ...] = LOADS,
                   node_count: int = NODE_COUNT,
-                  trials: int = 30) -> FigureResult:
+                  trials: int = 30,
+                  workers: int | None = None) -> FigureResult:
     """Fig. 3's fourth panel: peeling vs DS vs MM at mu = 4."""
     return locality_panel(
         slots_per_node, codes=codes,
         schedulers=("max-matching", "peeling", "delay"),
-        loads=loads, node_count=node_count, trials=trials,
+        loads=loads, node_count=node_count, trials=trials, workers=workers,
     )
 
 
-def full_figure(trials: int = 30) -> dict[str, FigureResult]:
+def full_figure(trials: int = 30,
+                workers: int | None = None) -> dict[str, FigureResult]:
     """All four Fig. 3 panels keyed by their paper captions."""
     return {
-        "mu=2": locality_panel(2, trials=trials),
-        "mu=4": locality_panel(4, trials=trials),
-        "mu=8": locality_panel(8, trials=trials),
-        "mu=4 peeling": peeling_panel(trials=trials),
+        "mu=2": locality_panel(2, trials=trials, workers=workers),
+        "mu=4": locality_panel(4, trials=trials, workers=workers),
+        "mu=8": locality_panel(8, trials=trials, workers=workers),
+        "mu=4 peeling": peeling_panel(trials=trials, workers=workers),
     }
 
 

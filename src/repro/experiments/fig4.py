@@ -16,8 +16,11 @@ Paper observations reproduced (Section 4.1):
 
 from __future__ import annotations
 
-from ..mapreduce import MRSimConfig, run_terasort, setup1
-from .runner import FigureResult, Series
+import statistics
+
+from ..mapreduce import MRSimConfig, run_terasort_once, setup1
+from .engine import Cell, run_cells
+from .runner import CellStats, FigureResult, Series
 
 #: Load grid of Fig. 4 (the paper plots 50-100 %).
 LOADS = (50.0, 75.0, 100.0)
@@ -26,10 +29,24 @@ LOADS = (50.0, 75.0, 100.0)
 CODES = ("3-rep", "2-rep", "pentagon", "heptagon")
 
 
+def terasort_trial(rng, code_name: str, load: float,
+                   config: MRSimConfig) -> tuple[float, float, float]:
+    """One seeded Terasort job: (job time s, locality %, traffic GB)."""
+    result = run_terasort_once(code_name, load, config, rng)
+    return (result.job_time_s, result.locality_percent, result.traffic_gb)
+
+
 def terasort_sweep(config: MRSimConfig, codes: tuple[str, ...],
-                   loads: tuple[float, ...], runs: int,
-                   seed_tag: str) -> dict[str, FigureResult]:
-    """Run the Terasort grid once; returns the three figure panels."""
+                   loads: tuple[float, ...], runs: int, seed_tag: str,
+                   workers: int | None = None) -> dict[str, FigureResult]:
+    """Run the Terasort grid once; returns the three figure panels.
+
+    The grid fans out over the engine: one cell per (code, load), each
+    averaging ``runs`` independently seeded jobs.  Seeds match the
+    retired :func:`~repro.mapreduce.run_terasort` loop exactly —
+    ``stable_seed(seed_tag, code, load, trial)`` — so regenerated
+    figures are bit-identical to the serial originals.
+    """
     cluster = f"{config.node_count} nodes, {config.map_slots} map slots"
     panels = {
         "job_time": FigureResult(f"Terasort job time ({cluster})",
@@ -39,28 +56,40 @@ def terasort_sweep(config: MRSimConfig, codes: tuple[str, ...],
         "locality": FigureResult(f"Terasort data locality ({cluster})",
                                  "load %", "data locality %"),
     }
+    cells = [
+        Cell(experiment=seed_tag, key=(code_name, load), fn=terasort_trial,
+             args=(code_name, load, config), trials=runs, reduce=list,
+             shard_trials=max(1, runs // 4))
+        for code_name in codes
+        for load in loads
+    ]
+    values = iter(run_cells(cells, workers))
     for code_name in codes:
         time_series = Series(code_name)
         traffic_series = Series(code_name)
         locality_series = Series(code_name)
         for load in loads:
-            stats = run_terasort(code_name, load, config, runs=runs,
-                                 seed_tag=seed_tag)
-            from .runner import CellStats
-            time_series.add(load, CellStats(stats.job_time_s,
-                                            stats.job_time_stdev, runs))
-            traffic_series.add(load, CellStats(stats.traffic_gb, 0.0, runs))
-            locality_series.add(load, CellStats(stats.locality_percent, 0.0, runs))
+            trials = next(values)
+            times = [t for t, _, _ in trials]
+            spread = statistics.stdev(times) if runs > 1 else 0.0
+            time_series.add(load, CellStats(
+                statistics.fmean(times), spread, runs))
+            traffic_series.add(load, CellStats(
+                statistics.fmean([g for _, _, g in trials]), 0.0, runs))
+            locality_series.add(load, CellStats(
+                statistics.fmean([p for _, p, _ in trials]), 0.0, runs))
         panels["job_time"].series.append(time_series)
         panels["traffic"].series.append(traffic_series)
         panels["locality"].series.append(locality_series)
     return panels
 
 
-def figure4(runs: int = 10, config: MRSimConfig | None = None) -> dict[str, FigureResult]:
+def figure4(runs: int = 10, config: MRSimConfig | None = None,
+            workers: int | None = None) -> dict[str, FigureResult]:
     """All three Fig. 4 panels."""
     return terasort_sweep(config if config is not None else setup1(),
-                          CODES, LOADS, runs, seed_tag="fig4")
+                          CODES, LOADS, runs, seed_tag="fig4",
+                          workers=workers)
 
 
 def shape_checks(panels: dict[str, FigureResult]) -> dict[str, bool]:

@@ -24,11 +24,13 @@ LOADS = (25.0, 50.0, 75.0, 100.0)
 CODES = ("3-rep", "2-rep", "pentagon")
 
 
-def figure5(runs: int = 10, config: MRSimConfig | None = None) -> dict[str, FigureResult]:
+def figure5(runs: int = 10, config: MRSimConfig | None = None,
+            workers: int | None = None) -> dict[str, FigureResult]:
     """Both Fig. 5 panels (job time is computed too, but not plotted
     in the paper; it is included for completeness)."""
     return terasort_sweep(config if config is not None else setup2(),
-                          CODES, LOADS, runs, seed_tag="fig5")
+                          CODES, LOADS, runs, seed_tag="fig5",
+                          workers=workers)
 
 
 def shape_checks(panels: dict[str, FigureResult]) -> dict[str, bool]:

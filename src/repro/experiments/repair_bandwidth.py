@@ -23,6 +23,7 @@ import numpy as np
 
 from ..cluster import ClusterTopology, MiniHDFS, RoundRobinPlacement
 from ..core import compute_metrics, make_code
+from .engine import Cell, run_cells
 
 BLOCK_BYTES = 1024
 
@@ -96,8 +97,17 @@ def measure_code(code_name: str) -> RepairMeasurement:
 
 
 def measure_all(codes=("pentagon", "heptagon", "(10,9) RAID+m",
-                       "2-rep", "3-rep", "rs(14,10)")) -> list[RepairMeasurement]:
-    return [measure_code(code_name) for code_name in codes]
+                       "2-rep", "3-rep", "rs(14,10)"),
+                workers: int | None = None) -> list[RepairMeasurement]:
+    """Measure every code; one single-call engine cell per code.
+
+    Each cell builds its own MiniHDFS with fixed seeds, so results are
+    pure functions of the code name and identical at any worker count.
+    """
+    cells = [Cell(experiment="repair-bandwidth", key=(code_name,),
+                  fn=measure_code, args=(code_name,))
+             for code_name in codes]
+    return run_cells(cells, workers)
 
 
 def shape_checks(measurements: list[RepairMeasurement]) -> dict[str, bool]:

@@ -55,7 +55,13 @@ class CellStats:
 
 def average_over_trials(fn: Callable[[np.random.Generator], float],
                         trials: int, *seed_components) -> CellStats:
-    """Run ``fn`` with ``trials`` independent generators and summarise."""
+    """Run ``fn`` with ``trials`` independent generators and summarise.
+
+    This is the serial reference semantics that
+    :mod:`repro.experiments.engine` trial cells reproduce exactly: the
+    engine derives trial ``t`` of cell ``key`` from
+    ``trial_rng(experiment, *seed_key, t)``, the same stream used here.
+    """
     values = [
         fn(trial_rng(*seed_components, trial)) for trial in range(trials)
     ]

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core import compute_metrics, make_code
+from .engine import Cell, run_cells
 
 
 @dataclass(frozen=True)
@@ -134,21 +135,32 @@ def simulate_timeout_policy(code_name: str, timeout_hours: float,
     )
 
 
+def timeout_cell(code_name: str, timeout: float, model: TransientModel,
+                 seed: int) -> TimeoutOutcome:
+    """One (code, timeout) cell; re-derives its outage stream from the
+    seed so the same stream is replayed for every cell (paired
+    comparison) in any process."""
+    rng = np.random.default_rng(seed)
+    return simulate_timeout_policy(code_name, timeout, model, rng)
+
+
 def timeout_sweep(codes=("2-rep", "pentagon", "heptagon", "rs(14,10)"),
                   timeouts=(0.25, 1.0, 4.0), model: TransientModel | None = None,
-                  seed: int = 0) -> list[TimeoutOutcome]:
+                  seed: int = 0,
+                  workers: int | None = None) -> list[TimeoutOutcome]:
     """The repair-avoidance table: every (code, timeout) cell.
 
     The same outage stream (same seed) is replayed for every code so
     differences are purely the codes' cost multipliers.
     """
     model = model if model is not None else TransientModel()
-    rows = []
-    for code_name in codes:
-        for timeout in timeouts:
-            rng = np.random.default_rng(seed)   # shared stream across cells
-            rows.append(simulate_timeout_policy(code_name, timeout, model, rng))
-    return rows
+    cells = [
+        Cell(experiment="transient", key=(code_name, timeout),
+             fn=timeout_cell, args=(code_name, timeout, model, seed))
+        for code_name in codes
+        for timeout in timeouts
+    ]
+    return run_cells(cells, workers)
 
 
 def shape_checks(rows: list[TimeoutOutcome]) -> dict[str, bool]:

@@ -28,7 +28,12 @@ from .sector_errors import (
     system_mttdl_years_with_uber,
     uber_failure_prob,
 )
-from .simulate import relative_error, simulate_chain_mttd, simulate_group_mttd
+from .simulate import (
+    relative_error,
+    simulate_chain_mttd,
+    simulate_group_mttd,
+    simulate_group_mttd_total,
+)
 from .system import (
     GroupModel,
     calibrate_mttf,
@@ -61,6 +66,7 @@ __all__ = [
     "calibrate_mttf",
     "simulate_chain_mttd",
     "simulate_group_mttd",
+    "simulate_group_mttd_total",
     "relative_error",
     "uber_failure_prob",
     "critical_states",

@@ -26,6 +26,10 @@ algebra, exponential holding times and uniform victim selection); only
 the order in which random variates are drawn differs from the retired
 one-event-at-a-time loops, so results agree statistically under any
 fixed seed rather than bit-for-bit.
+
+:func:`simulate_group_mttd_total` is the sweep-engine shard entry
+point: it returns the *summed* absorption time so independently seeded
+trial shards merge exactly (sum of totals over sum of trials).
 """
 
 from __future__ import annotations
@@ -118,6 +122,22 @@ def simulate_group_mttd(code: Code, params: ReliabilityParams,
                         rng: np.random.Generator, trials: int = 500,
                         max_events: int = 10_000_000) -> float:
     """Mean time to data loss of one group by node-level simulation."""
+    total = simulate_group_mttd_total(code, params, rng, trials, max_events)
+    return total / trials
+
+
+def simulate_group_mttd_total(code: Code, params: ReliabilityParams,
+                              rng: np.random.Generator, trials: int = 500,
+                              max_events: int = 10_000_000) -> float:
+    """Summed absorption time over ``trials`` — the shard entry point.
+
+    The sweep engine fans a heavy Monte-Carlo cell out as several
+    shards, each with its own generator derived from
+    ``stable_seed(experiment, cell, shard)``.  Shards merge *exactly*:
+    the cell mean is ``sum(shard totals) / sum(shard trials)``, and
+    because every shard re-derives its stream from its own key the
+    merged value is bit-identical for any worker count.
+    """
     lam, mu = params.failure_rate, params.repair_rate
     length = code.length
     parallel = params.repair == "parallel"
@@ -237,7 +257,7 @@ def simulate_group_mttd(code: Code, params: ReliabilityParams,
                 trial_mask &= ~(1 << _nth_member_slot(trial_mask, rank, length))
                 down -= 1
         total += clock
-    return total / trials
+    return total
 
 
 def relative_error(measured: float, expected: float) -> float:

@@ -225,6 +225,39 @@ class TestPlacementPolicies:
         with pytest.raises(KeyError):
             make_placement("gravity")
 
+    def test_rack_loss_survivability_bulk_verdicts(self):
+        """One bulk query answers every rack; the heptagon-local contract
+        is confinement — only the global-parity rack survives outright."""
+        from repro.cluster import rack_loss_survivability, rack_slot_groups
+
+        topology = ClusterTopology.racked([7, 7, 3])
+        code = make_code("heptagon-local")
+        nodes = RackAwarePlacement().place_stripe(
+            code, topology, np.random.default_rng(1))
+        groups = rack_slot_groups(nodes, topology)
+        assert sorted(sum((list(s) for s in groups.values()), [])) == list(range(15))
+        verdicts = rack_loss_survivability(code, nodes, topology)
+        global_rack = topology.rack_of(nodes[14])
+        for rack, ok in verdicts.items():
+            assert ok == (rack == global_rack)
+
+    def test_rack_loss_survivability_replication(self):
+        """2-rep spread over three racks survives any single rack loss."""
+        from repro.cluster import rack_loss_survivability
+
+        topology = ClusterTopology.racked([1, 1, 1])
+        code = make_code("2-rep")
+        nodes = RackAwarePlacement().place_stripe(
+            code, topology, np.random.default_rng(0))
+        assert all(rack_loss_survivability(code, nodes, topology).values())
+
+    def test_rack_aware_validation_can_be_disabled(self):
+        topology = ClusterTopology.racked([7, 7, 3])
+        code = make_code("heptagon-local")
+        nodes = RackAwarePlacement(validate=False).place_stripe(
+            code, topology, np.random.default_rng(1))
+        assert len(nodes) == 15
+
 
 class TestPlanRuntimeErrors:
     def test_read_from_failed_node_rejected(self):

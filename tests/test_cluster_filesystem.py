@@ -206,6 +206,66 @@ class TestRepair:
         assert moved == 4 * 4 * 64   # 4 stripes x 4 blocks
         assert fs.read_file("f") == data
 
+    def test_unrecoverable_repair_fails_fast(self):
+        """The bulk pre-check raises before any repair bytes move."""
+        fs = make_fs(node_count=5, block_bytes=64, placement=RoundRobinPlacement())
+        fs.write_file("f", payload(64 * 9 * 3), "pentagon")
+        for node in (0, 1, 2):   # a failure triangle loses data
+            fs.fail_node(node, permanent=True)
+        before = fs.ledger.total_bytes("repair")
+        with pytest.raises(UnrecoverableStripeError):
+            fs.repair_all()
+        assert fs.ledger.total_bytes("repair") == before
+
+
+class TestBatchedWritePath:
+    def test_encode_stripes_bit_identical_to_encode(self):
+        from repro.core import make_code
+
+        for code_name in ("pentagon", "heptagon-local", "rs(14,10)", "2-rep"):
+            code = make_code(code_name)
+            rng = np.random.default_rng(11)
+            stripes = [
+                [rng.integers(0, 256, 512, dtype=np.uint8)
+                 for _ in range(code.k)]
+                for _ in range(3)
+            ]
+            batched = code.encode_stripes(stripes)
+            for blocks, encoded in zip(stripes, batched):
+                reference = code.encode(blocks)
+                assert len(encoded) == len(reference)
+                for got, expected in zip(encoded, reference):
+                    assert np.array_equal(got, expected)
+
+    def test_encode_stripes_empty_and_single(self):
+        from repro.core import make_code
+
+        code = make_code("pentagon")
+        assert code.encode_stripes([]) == []
+        blocks = [bytes(range(9)) for _ in range(9)]
+        [one] = code.encode_stripes([blocks])
+        for got, expected in zip(one, code.encode(blocks)):
+            assert np.array_equal(got, expected)
+
+    def test_batched_write_matches_ledger_and_roundtrip(self):
+        """Many-stripe writes: unchanged per-block charges, exact bytes."""
+        fs = make_fs(node_count=5, block_bytes=64, placement=RoundRobinPlacement())
+        data = payload(64 * 9 * 5)   # five pentagon stripes
+        info = fs.write_file("f", data, "pentagon")
+        assert len(info.stripes) == 5
+        # 10 symbols x 2 replicas = 20 block puts per pentagon stripe.
+        assert fs.ledger.total_bytes("write") == 5 * 20 * 64
+        assert fs.read_file("f") == data
+
+    def test_batched_write_blocks_are_independent(self):
+        """Sliced parity rows must not alias each other or the stack."""
+        fs = make_fs(node_count=5, block_bytes=64, placement=RoundRobinPlacement())
+        data = payload(64 * 9 * 2)
+        fs.write_file("f", data, "pentagon")
+        stripes = fs.namenode.file("f").stripes
+        first = fs.read_block(stripes[0].block_id(0))
+        assert first == data[:64]
+
 
 class TestFailureInjector:
     def test_transient_failure_keeps_blocks(self):

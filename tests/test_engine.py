@@ -1,0 +1,212 @@
+"""Sweep-engine determinism: every ported experiment must produce
+bit-identical results at any worker count, any shard layout, and under
+single-cell re-runs (small trial counts keep the suite fast)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    repair_bandwidth,
+    table1,
+    transient,
+)
+from repro.experiments.engine import Cell, resolve_workers, run_cells, run_keyed
+from repro.experiments.runner import CellStats, trial_rng
+
+WORKERS = 4
+
+
+def draw_trial(rng, scale):
+    """Top-level trial fn used by the engine-infrastructure tests."""
+    return scale * float(rng.random())
+
+
+def identity_cell(value):
+    """Top-level single-call fn used by the engine-infrastructure tests."""
+    return value
+
+
+def series_points(figure):
+    return [(s.label, s.xs, s.ys, s.spreads) for s in figure.series]
+
+
+class TestEngineInfrastructure:
+    def test_trial_cells_match_manual_loop(self):
+        cell = Cell(experiment="t", key=("a",), fn=draw_trial, args=(2.0,),
+                    trials=5)
+        expected = CellStats.from_values(
+            [2.0 * float(trial_rng("t", "a", i).random()) for i in range(5)])
+        assert cell.run() == expected
+        assert run_cells([cell], workers=1) == [expected]
+        assert run_cells([cell], workers=WORKERS) == [expected]
+
+    def test_shard_layout_does_not_change_results(self):
+        plain = Cell(experiment="t", key=("a",), fn=draw_trial, args=(1.0,),
+                     trials=10)
+        sharded = Cell(experiment="t", key=("a",), fn=draw_trial, args=(1.0,),
+                       trials=10, shard_trials=3)
+        assert run_cells([plain], workers=1) == run_cells([sharded],
+                                                          workers=WORKERS)
+
+    def test_single_call_cells(self):
+        cells = [Cell(experiment="t", key=(i,), fn=identity_cell, args=(i,))
+                 for i in range(7)]
+        assert run_cells(cells, workers=WORKERS) == list(range(7))
+
+    def test_seed_key_shares_streams_across_cells(self):
+        a = Cell(experiment="t", key=("a",), seed_key=("shared",),
+                 fn=draw_trial, args=(1.0,), trials=4)
+        b = Cell(experiment="t", key=("b",), seed_key=("shared",),
+                 fn=draw_trial, args=(1.0,), trials=4)
+        ra, rb = run_cells([a, b], workers=WORKERS)
+        assert ra == rb
+
+    def test_run_keyed(self):
+        cells = [Cell(experiment="t", key=(i,), fn=identity_cell, args=(i,))
+                 for i in range(3)]
+        assert run_keyed(cells) == {(0,): 0, (1,): 1, (2,): 2}
+        with pytest.raises(ValueError):
+            run_keyed(cells + cells)
+
+    def test_reduce_need_not_pickle(self):
+        """Only (fn, args, seeds, range) cross the process boundary, so
+        a closure reduce is fine even on parallel sharded runs."""
+        cell = Cell(experiment="t", key=("a",), fn=draw_trial, args=(1.0,),
+                    trials=8, shard_trials=2, reduce=lambda values: sum(values))
+        assert run_cells([cell], workers=WORKERS) == [cell.run()]
+
+    def test_rejects_unpicklable_fns(self):
+        def nested(rng):
+            return 0.0
+
+        with pytest.raises(ValueError):
+            Cell(experiment="t", key=("a",), fn=nested, trials=1)
+
+    def test_rejects_empty_trials(self):
+        with pytest.raises(ValueError):
+            Cell(experiment="t", key=("a",), fn=draw_trial, trials=0)
+
+    def test_resolve_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+        assert resolve_workers(3) == 3
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None) == 5
+        assert resolve_workers(2) == 2
+        import os
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+
+class TestExperimentDeterminism:
+    """workers=1 and workers=4 agree exactly for every ported sweep."""
+
+    def test_fig3_panel(self):
+        serial = fig3.locality_panel(2, trials=4, workers=1)
+        parallel = fig3.locality_panel(2, trials=4, workers=WORKERS)
+        assert series_points(serial) == series_points(parallel)
+
+    def test_fig3_single_cell_rerun_matches_sweep(self):
+        panel = fig3.locality_panel(2, trials=4, workers=WORKERS)
+        stats = fig3.locality_cell("pentagon", "delay", 50.0, 2, trials=4)
+        assert panel.get("pent-DS").y_at(50.0) == stats.mean
+
+    def test_table1(self):
+        serial = table1.build_table1(workers=1)
+        parallel = table1.build_table1(workers=WORKERS)
+        assert serial.rows == parallel.rows
+
+    def test_table1_single_row_rerun_matches_sweep(self):
+        result = table1.build_table1(workers=WORKERS)
+        row = table1.table1_row("pentagon", result.params, table1.NODE_COUNT)
+        assert result.row("pentagon") == row
+
+    def test_fig2(self):
+        assert fig2.figure2(workers=1) == fig2.figure2(workers=WORKERS)
+
+    def test_fig4(self):
+        serial = fig4.figure4(runs=3, workers=1)
+        parallel = fig4.figure4(runs=3, workers=WORKERS)
+        for name in ("job_time", "traffic", "locality"):
+            assert series_points(serial[name]) == series_points(parallel[name])
+
+    def test_fig5(self):
+        serial = fig5.figure5(runs=2, workers=1)
+        parallel = fig5.figure5(runs=2, workers=WORKERS)
+        for name in ("traffic", "locality"):
+            assert series_points(serial[name]) == series_points(parallel[name])
+
+    def test_repair_bandwidth(self):
+        assert (repair_bandwidth.measure_all(workers=WORKERS)
+                == repair_bandwidth.measure_all(workers=1))
+
+    def test_transient(self):
+        assert (transient.timeout_sweep(workers=WORKERS)
+                == transient.timeout_sweep(workers=1))
+
+    def test_ablations_delay_sensitivity(self):
+        serial = ablations.delay_sensitivity(trials=4, skip_levels=(0, 25),
+                                             workers=1)
+        parallel = ablations.delay_sensitivity(trials=4, skip_levels=(0, 25),
+                                               workers=WORKERS)
+        assert series_points(serial) == series_points(parallel)
+
+    def test_ablations_slots_crossover(self):
+        serial = ablations.slots_crossover(trials=3, slot_range=(2, 8),
+                                           workers=1)
+        parallel = ablations.slots_crossover(trials=3, slot_range=(2, 8),
+                                             workers=WORKERS)
+        assert series_points(serial) == series_points(parallel)
+
+    def test_ablations_degraded_sweep(self):
+        assert (ablations.degraded_job_sweep(workers=WORKERS)
+                == ablations.degraded_job_sweep(workers=1))
+
+    def test_ablations_hl_equivalence(self):
+        assert (ablations.heptagon_local_equivalence(trials=4, workers=WORKERS)
+                == ablations.heptagon_local_equivalence(trials=4, workers=1))
+
+
+class TestMonteCarloSharding:
+    def test_worker_count_invariant(self):
+        serial = table1.monte_carlo_validation(
+            codes=("3-rep",), trials=60, shard_trials=20, workers=1)
+        parallel = table1.monte_carlo_validation(
+            codes=("3-rep",), trials=60, shard_trials=20, workers=WORKERS)
+        assert serial == parallel
+
+    def test_shards_merge_exactly(self):
+        """sum of independently seeded shard totals == the sweep value."""
+        from repro.core import make_code
+        from repro.reliability import simulate_group_mttd_total
+
+        code = make_code("3-rep")
+        shards, shard_trials = 3, 20
+        total = sum(
+            simulate_group_mttd_total(
+                code, table1.MC_PARAMS,
+                trial_rng("table1-mc", "3-rep", shard), trials=shard_trials)
+            for shard in range(shards)
+        )
+        [row] = table1.monte_carlo_validation(
+            codes=("3-rep",), trials=shards * shard_trials,
+            shard_trials=shard_trials, workers=WORKERS)
+        assert row.simulated_mttd_hours == total / (shards * shard_trials)
+
+    def test_total_matches_mean_entry_point(self):
+        from repro.core import make_code
+        from repro.reliability import (
+            simulate_group_mttd,
+            simulate_group_mttd_total,
+        )
+
+        code = make_code("pentagon")
+        mean = simulate_group_mttd(code, table1.MC_PARAMS,
+                                   np.random.default_rng(3), trials=40)
+        total = simulate_group_mttd_total(code, table1.MC_PARAMS,
+                                          np.random.default_rng(3), trials=40)
+        assert mean == total / 40
