@@ -6,11 +6,12 @@ Usage::
 
 Produces ``results/BENCH_<YYYY-MM-DD>[_NAME].json`` with encode/decode
 throughput, Monte-Carlo simulation wall time, decodability-engine
-timings and end-to-end sweep wall-clock at 1 vs 4 workers, so the perf
-trajectory is tracked PR over PR (commit the file with the change that
-moved the numbers; ``--tag`` avoids clobbering a same-day baseline).
-Timings are medians of several repetitions; throughputs are MB/s over
-the stripe's data payload.
+timings, end-to-end sweep wall-clock at 1 vs 4 workers, and a
+distributed-sweep section (coordinator + loopback `repro worker`
+subprocesses), so the perf trajectory is tracked PR over PR (commit
+the file with the change that moved the numbers; ``--tag`` avoids
+clobbering a same-day baseline).  Timings are medians of several
+repetitions; throughputs are MB/s over the stripe's data payload.
 """
 
 from __future__ import annotations
@@ -18,9 +19,12 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import pathlib
 import platform
 import statistics
+import subprocess
+import sys
 import time
 
 import numpy as np
@@ -85,6 +89,7 @@ def snapshot() -> dict:
             lambda: make_code(name).fault_tolerance, repeats=3)
         record["fault_tolerance_s"][name] = round(seconds, 4)
     record["sweep_s"] = sweep_benchmark()
+    record["distributed_s"] = distributed_benchmark()
     return record
 
 
@@ -149,6 +154,70 @@ def sweep_benchmark(workers: int = 4, repeats: int = 3) -> dict:
             f"workers_{workers}": round(parallel, 3),
             "speedup": round(serial / parallel, 2),
         }
+    return out
+
+
+def distributed_benchmark(workers: int = 2, repeats: int = 3) -> dict:
+    """Distributed-sweep wall-clock: coordinator + loopback workers.
+
+    Times the same fig3 mu=4 panel as ``sweep_benchmark``, executed by
+    a ``DistributedExecutor`` with ``workers`` local ``repro worker``
+    subprocesses over loopback, next to its serial wall-clock, and
+    records that the outputs stayed bit-identical.  On a single host
+    this mostly measures protocol + pickling overhead on top of the
+    same saturated CPUs (compare against ``cpu_parallel_capacity``);
+    point the workers at other machines and the identical setup scales
+    with the added hardware.
+    """
+    from repro.experiments.distributed import DistributedExecutor
+
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    parts = [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    out: dict = {"workers": workers}
+    procs: list[subprocess.Popen] = []
+    try:
+        with DistributedExecutor() as executor:
+            host, port = executor.address
+            procs = [
+                subprocess.Popen(
+                    [sys.executable, "-m", "repro", "worker",
+                     f"{host}:{port}", "--retries", "30"],
+                    env=env)
+                for _ in range(workers)
+            ]
+            executor.wait_for_workers(workers, timeout=120)
+
+            def run(target):
+                return fig3.locality_panel(4, trials=30, workers=target)
+
+            serial_reference = run(1)        # also warms every cache
+            distributed_result = run(executor)
+            out["bit_identical"] = (serial_reference.points()
+                                    == distributed_result.points())
+            serial_times, distributed_times = [], []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                run(1)
+                serial_times.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                run(executor)
+                distributed_times.append(time.perf_counter() - start)
+            serial = statistics.median(serial_times)
+            distributed = statistics.median(distributed_times)
+            out["fig3_mu4"] = {
+                "workers_1": round(serial, 3),
+                f"distributed_{workers}": round(distributed, 3),
+                "speedup": round(serial / distributed, 2),
+            }
+    finally:
+        for proc in procs:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
     return out
 
 

@@ -15,12 +15,29 @@ Parallel runs
 -------------
 
 Every subcommand accepts ``--workers N`` to fan the experiment's sweep
-cells out over ``N`` processes (``0`` means one per CPU).  When the
-flag is absent the ``REPRO_WORKERS`` environment variable is consulted;
-otherwise the sweep runs serially.  Results are **bit-identical for any
-worker count**: every cell re-derives its random stream from
-``stable_seed(experiment, cell, trial)``, never from shared state (see
+cells out over ``N`` local processes (``0`` means one per CPU; negative
+counts are rejected).  When the flag is absent the ``REPRO_WORKERS``
+environment variable is consulted; otherwise the sweep runs serially.
+Results are **bit-identical for any worker count**: every cell
+re-derives its random stream from ``stable_seed(experiment, cell,
+trial)``, never from shared state (see
 :mod:`repro.experiments.engine`).
+
+Distributed runs
+----------------
+
+When one host is saturated, the same sweeps fan out across machines::
+
+    # coordinator (any subcommand)
+    python -m repro fig3 --mu 4 --distributed 0.0.0.0:7571
+
+    # on each worker host
+    python -m repro worker COORDINATOR:7571 --retries 30
+
+``--distributed HOST:PORT`` starts a socket coordinator and blocks
+until at least one ``repro worker`` connects; workers may join or die
+at any point mid-sweep and the results are still bit-identical to a
+serial run (see :mod:`repro.experiments.distributed`).
 """
 
 from __future__ import annotations
@@ -37,6 +54,13 @@ from .experiments import (
     render_table,
     repair_bandwidth,
     table1,
+)
+from .experiments.distributed import (
+    HEARTBEAT_TIMEOUT,
+    DistributedExecutor,
+    ProtocolError,
+    parse_hostport,
+    run_worker,
 )
 
 
@@ -114,6 +138,22 @@ def run_ablations(args: argparse.Namespace) -> None:
               f"decode {stats['decode_mb_s']:8.0f} MB/s")
 
 
+def run_worker_cmd(args: argparse.Namespace) -> None:
+    host, port = parse_hostport(args.address)
+    try:
+        units = run_worker(
+            host, port,
+            heartbeat_interval=args.heartbeat,
+            reconnect_attempts=args.retries,
+            log=lambda message: print(f"[worker] {message}", flush=True),
+        )
+    except (ConnectionError, OSError, ProtocolError) as exc:
+        print(f"[worker] giving up on {host}:{port}: "
+              f"{type(exc).__name__}: {exc}", file=sys.stderr, flush=True)
+        raise SystemExit(1) from None
+    print(f"[worker] done: served {units} unit(s)", flush=True)
+
+
 def run_all(args: argparse.Namespace) -> None:
     run_table1(args)
     run_fig3(args)
@@ -132,10 +172,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_workers(p: argparse.ArgumentParser) -> None:
         p.add_argument(
-            "--workers", type=int, default=None, metavar="N",
-            help="fan sweep cells out over N processes (0: one per CPU; "
-                 "default: $REPRO_WORKERS or serial); results are "
+            "--workers", type=_worker_count, default=None, metavar="N",
+            help="fan sweep cells out over N local processes (0: one per "
+                 "CPU; default: $REPRO_WORKERS or serial); results are "
                  "bit-identical for any worker count")
+        p.add_argument(
+            "--distributed", type=_hostport, default=None,
+            metavar="HOST:PORT",
+            help="coordinate the sweep over remote `repro worker "
+                 "HOST:PORT` processes instead of local ones (port 0 "
+                 "picks a free port); results stay bit-identical")
 
     p_table1 = sub.add_parser("table1",
                               help="storage overhead / length / MTTDL")
@@ -171,6 +217,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--mu", type=int, default=None)
     p_all.add_argument("--mc-trials", type=int, default=0)
     add_workers(p_all)
+
+    p_worker = sub.add_parser(
+        "worker", help="serve sweep units to a distributed coordinator")
+    p_worker.add_argument(
+        "address", type=_hostport, metavar="HOST:PORT",
+        help="coordinator address (the `--distributed` value of the "
+             "driving subcommand)")
+    p_worker.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry a refused or lost connection up to N times, 1s "
+             "apart (lets workers start before their coordinator)")
+    p_worker.add_argument(
+        "--heartbeat", type=_heartbeat_interval, default=2.0,
+        metavar="SECONDS",
+        help="heartbeat interval while computing a unit")
     return parser
 
 
@@ -182,12 +243,73 @@ HANDLERS = {
     "repair": run_repair,
     "ablations": run_ablations,
     "all": run_all,
+    "worker": run_worker_cmd,
 }
+
+
+def _worker_count(text: str) -> int:
+    """argparse type for ``--workers``, aligned with ``resolve_workers``."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not an integer worker count") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "worker count must be >= 0 (0 means one per CPU)")
+    return value
+
+
+def _hostport(text: str) -> str:
+    """argparse type validating HOST:PORT addresses (kept as a string)."""
+    try:
+        parse_hostport(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
+def _heartbeat_interval(text: str) -> float:
+    """argparse type for ``--heartbeat``: must fit the coordinator's
+    silence budget, or every long unit would be declared hung and
+    requeued forever."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a number of seconds") from None
+    if not 0 < value < HEARTBEAT_TIMEOUT:
+        raise argparse.ArgumentTypeError(
+            f"heartbeat interval must be in (0, {HEARTBEAT_TIMEOUT:.0f}) "
+            "seconds — the coordinator drops a connection silent for "
+            f"{HEARTBEAT_TIMEOUT:.0f}s")
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    HANDLERS[args.command](args)
+    handler = HANDLERS[args.command]
+    address = getattr(args, "distributed", None)
+    if address is None:
+        handler(args)
+        return 0
+    if args.workers is not None:
+        print("error: --workers and --distributed are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    host, port = parse_hostport(address)
+    with DistributedExecutor(host, port) as executor:
+        bound_host, bound_port = executor.address
+        print(f"[distributed] coordinator on {bound_host}:{bound_port}; "
+              f"start workers with: python -m repro worker "
+              f"{bound_host}:{bound_port}", flush=True)
+        executor.wait_for_workers(1)
+        print(f"[distributed] {executor.worker_count} worker(s) connected",
+              flush=True)
+        # Experiment builders thread their ``workers`` argument straight
+        # into run_cells, which accepts an Executor in its place.
+        args.workers = executor
+        handler(args)
     return 0
 
 

@@ -16,21 +16,52 @@ the benchmark suite prints them via :mod:`repro.experiments.report`.
 Every sweep runs on the declarative engine
 (:mod:`repro.experiments.engine`): experiments declare grids of
 :class:`~repro.experiments.engine.Cell` specs and the engine executes
-them serially or over multiprocessing workers (``workers=N`` on every
+them through a pluggable :class:`~repro.experiments.engine.Executor` —
+serially, over cached multiprocessing pools (``workers=N`` on every
 builder, ``--workers`` on the CLI, ``REPRO_WORKERS`` in the
-environment) with bit-identical results at any worker count.
+environment), or across machines via the socket coordinator in
+:mod:`repro.experiments.distributed` (``--distributed HOST:PORT`` plus
+``repro worker`` processes) — with bit-identical results whichever
+executor runs the units.
 """
 
-from . import ablations, fig2, fig3, fig4, fig5, repair_bandwidth, table1, transient
-from .engine import Cell, resolve_workers, run_cells, run_keyed
+from . import (
+    ablations,
+    distributed,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    repair_bandwidth,
+    table1,
+    transient,
+)
+from .distributed import DistributedExecutor, run_worker
+from .engine import (
+    Cell,
+    CellExecutionError,
+    Executor,
+    PooledExecutor,
+    SerialExecutor,
+    resolve_workers,
+    run_cells,
+    run_keyed,
+)
 from .report import render_figure, render_series_comparison, render_table
 from .runner import CellStats, FigureResult, Series, average_over_trials, trial_rng
 
 __all__ = [
     "Cell",
+    "CellExecutionError",
+    "Executor",
+    "SerialExecutor",
+    "PooledExecutor",
+    "DistributedExecutor",
+    "run_worker",
     "run_cells",
     "run_keyed",
     "resolve_workers",
+    "distributed",
     "table1",
     "fig2",
     "fig3",

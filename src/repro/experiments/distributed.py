@@ -1,0 +1,481 @@
+"""Socket-based coordinator/worker executor for cross-machine sweeps.
+
+The reference container caps out well below 2x aggregate CPU
+(``cpu_parallel_capacity`` in ``results/BENCH_*_sweep.json``), so once
+a single host is saturated the next perf lever for the big sweep grids
+is more machines.  The engine's work units are already the right wire
+format: picklable ``(fn, args, seeds, lo, hi, owner)`` tuples whose
+results depend only on the cell specs (every trial re-derives its RNG
+from ``stable_seed``).  This module ships those payloads to remote
+worker processes over TCP and merges the results, preserving the
+engine's determinism guarantee: a distributed sweep is **bit-identical
+to** ``workers=1`` regardless of how many workers join, when they
+join, or which worker runs which unit — including when a worker dies
+mid-sweep and its units are reassigned.  ``tests/test_distributed.py``
+asserts all of this against real worker subprocesses over loopback.
+
+Usage::
+
+    # on the coordinating host (any subcommand)
+    python -m repro fig3 --mu 4 --distributed 0.0.0.0:7571
+
+    # on each worker host (repeat for more capacity)
+    python -m repro worker COORDINATOR_HOST:7571 --retries 30
+
+or programmatically::
+
+    with DistributedExecutor(host, port) as executor:
+        executor.wait_for_workers(2)
+        panel = fig3.locality_panel(4, workers=executor)
+
+Protocol (version 1)
+--------------------
+
+Every message is a length-prefixed pickle frame: a 4-byte big-endian
+payload length, then the pickled ``(kind, data)`` tuple.
+
+=================  ==========  =====================================
+direction          kind        data
+=================  ==========  =====================================
+worker to coord    hello       ``{"version", "pid", "host"}``
+coord to worker    welcome     ``{"version"}``
+coord to worker    unit        ``(generation, unit_id, payload)``
+worker to coord    ping        ``None`` (heartbeat while computing)
+worker to coord    result      ``(generation, unit_id, output)``
+worker to coord    error       ``(generation, unit_id, message)``
+coord to worker    shutdown    ``None``
+=================  ==========  =====================================
+
+Failure handling: the coordinator reads every connection with a
+``heartbeat_timeout`` socket timeout, and workers ping every
+``heartbeat_interval`` seconds while computing, so a hung-but-
+connected worker times out while a long-running unit stays alive
+indefinitely; a killed worker surfaces immediately as EOF.  Either
+way the connection is dropped and its in-flight unit goes back on
+the queue for the next free worker.  A unit reassigned from a worker
+that was merely partitioned (not dead) merges idempotently — both
+executions computed the same value, by construction — and a
+``generation`` counter drops any frame that straggles in from a
+previous sweep.
+
+Trust model: frames are unauthenticated pickle, so expose a
+coordinator only to hosts you would let run arbitrary code (the same
+trust a multiprocessing pool places in its forked workers).  Bind to
+loopback or a private cluster network.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import threading
+import time
+from collections import deque
+
+from .engine import CellExecutionError, Executor, _run_unit
+
+#: Bumped on any incompatible frame/message change; both ends check it
+#: during the handshake so version skew fails fast instead of weirdly.
+PROTOCOL_VERSION = 1
+
+#: Seconds between worker heartbeats while a unit is computing.
+HEARTBEAT_INTERVAL = 2.0
+
+#: Coordinator-side silence budget per connection.  Must comfortably
+#: exceed the heartbeat interval; it bounds how long a hung worker can
+#: hold a unit hostage, not how long a unit may take.
+HEARTBEAT_TIMEOUT = 30.0
+
+#: Frame length prefix: 4-byte big-endian payload size.
+_HEADER = struct.Struct(">I")
+
+#: Sanity cap on a single frame — a corrupt or hostile length prefix
+#: should fail loudly, not allocate gigabytes.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent something outside the framed protocol."""
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def send_frame(sock: socket.socket, message: tuple) -> None:
+    """Send one ``(kind, data)`` message as a length-prefixed frame."""
+    data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap")
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> tuple:
+    """Receive one ``(kind, data)`` message (blocking, honours timeouts)."""
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame announces {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte cap")
+    message = pickle.loads(_recv_exact(sock, length))
+    if not (isinstance(message, tuple) and len(message) == 2):
+        raise ProtocolError("frame did not decode to a (kind, data) pair")
+    return message
+
+
+def parse_hostport(text: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (as taken by ``--distributed`` and ``worker``)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"{text!r} is not a HOST:PORT address")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"{text!r}: port {port_text!r} is not an integer"
+                         ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"{text!r}: port must be in 0..65535")
+    return host, port
+
+
+class DistributedExecutor(Executor):
+    """Coordinator end of the distributed sweep protocol.
+
+    Listens on ``(host, port)`` (port 0 picks a free one; the bound
+    address is in :attr:`address`) and accepts ``repro worker``
+    connections at any time — before, during or between sweeps.  Each
+    :meth:`run` call turns the payload batch into a FIFO work queue;
+    per-worker service threads claim one unit at a time, ship it, and
+    stream back results.  In-flight units whose worker dies or goes
+    silent are requeued for the next free worker, so a sweep completes
+    as long as at least one worker remains.
+
+    The executor is reusable across sweeps (the CLI's ``all`` runs
+    six in a row) but not concurrently — one :meth:`run` at a time.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 heartbeat_timeout: float = HEARTBEAT_TIMEOUT):
+        self.heartbeat_timeout = heartbeat_timeout
+        self._server = socket.create_server((host, port))
+        self.address: tuple[str, int] = self._server.getsockname()[:2]
+        self._state = threading.Condition()
+        self._closed = False
+        self._workers: dict[str, dict] = {}
+        self._payloads: list = []
+        self._queue: deque[int] = deque()
+        self._in_flight: dict[int, str] = {}
+        self._outputs: dict[int, object] = {}
+        self._failure: Exception | None = None
+        self._generation = 0
+        self._threads: list[threading.Thread] = []
+        threading.Thread(target=self._accept_loop,
+                         name="repro-coordinator-accept",
+                         daemon=True).start()
+
+    # -- Executor API --------------------------------------------------
+
+    def run(self, payloads: list) -> list:
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        with self._state:
+            if self._closed:
+                raise RuntimeError("DistributedExecutor is closed")
+            self._generation += 1
+            self._payloads = payloads
+            self._outputs = {}
+            self._failure = None
+            self._in_flight = {}
+            self._queue = deque(range(len(payloads)))
+            self._state.notify_all()
+            while (len(self._outputs) < len(payloads)
+                   and self._failure is None and not self._closed):
+                self._state.wait(0.1)
+            if self._failure is not None:
+                # Leave the workers connected for the next sweep: clear
+                # the queue so they stop burning CPU on a failed batch.
+                failure, self._failure = self._failure, None
+                self._queue.clear()
+                raise failure
+            if self._closed:
+                raise RuntimeError("executor closed mid-sweep")
+            return [self._outputs[index] for index in range(len(payloads))]
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def worker_count(self) -> int:
+        """Workers currently connected (post-handshake)."""
+        with self._state:
+            return len(self._workers)
+
+    def wait_for_workers(self, count: int = 1,
+                         timeout: float | None = None) -> int:
+        """Block until ``count`` workers are connected; returns the tally."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._state:
+            while len(self._workers) < count:
+                if self._closed:
+                    raise RuntimeError("DistributedExecutor is closed")
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"only {len(self._workers)}/{count} workers "
+                        f"connected within {timeout:.1f}s")
+                self._state.wait(0.1)
+            return len(self._workers)
+
+    def close(self) -> None:
+        """Shut down: idle workers are told to exit, the port is freed.
+
+        Joins the per-worker service threads (briefly) so the shutdown
+        frames actually reach the workers before the process exits —
+        otherwise they would see an abrupt EOF and burn their
+        reconnect budget on a coordinator that is gone on purpose.
+        """
+        with self._state:
+            if self._closed:
+                return
+            self._closed = True
+            self._state.notify_all()
+            threads = list(self._threads)
+        self._server.close()
+        deadline = time.monotonic() + 5.0
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+
+    def __enter__(self) -> "DistributedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- coordinator internals -----------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, addr = self._server.accept()
+            except OSError:     # server socket closed
+                return
+            thread = threading.Thread(
+                target=self._serve_worker, args=(conn, addr),
+                name=f"repro-coordinator-{addr[0]}:{addr[1]}",
+                daemon=True)
+            with self._state:
+                self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve_worker(self, conn: socket.socket, addr) -> None:
+        """One connection's service loop: claim, ship, collect, repeat."""
+        name = f"{addr[0]}:{addr[1]}"
+        claimed: int | None = None
+        generation = 0
+        try:
+            conn.settimeout(self.heartbeat_timeout)
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            kind, info = recv_frame(conn)
+            if kind != "hello" or not (isinstance(info, dict)
+                                       and info.get("version")
+                                       == PROTOCOL_VERSION):
+                send_frame(conn, ("shutdown", None))
+                return
+            send_frame(conn, ("welcome", {"version": PROTOCOL_VERSION}))
+            with self._state:
+                self._workers[name] = dict(info)
+                self._state.notify_all()
+            while True:
+                claim = self._claim_unit(name)
+                if claim is None:
+                    send_frame(conn, ("shutdown", None))
+                    return
+                generation, claimed, payload = claim
+                send_frame(conn, ("unit", (generation, claimed, payload)))
+                while True:
+                    kind, data = recv_frame(conn)   # timeout = silence budget
+                    if kind != "ping":
+                        break
+                if kind == "result":
+                    self._record(*data)
+                elif kind == "error":
+                    error_generation, _, message = data
+                    self._record_failure(error_generation,
+                                         CellExecutionError(message))
+                else:
+                    raise ProtocolError(f"unexpected frame kind {kind!r}")
+                claimed = None
+        except Exception:
+            # Dead, hung or garbled peer (EOF, silence timeout, version
+            # skew, port scanner, unpicklable frame): drop the
+            # connection quietly and requeue below.  Deliberately broad
+            # — a service thread must never die loudly on bad input.
+            pass
+        finally:
+            conn.close()
+            with self._state:
+                self._workers.pop(name, None)
+                if (claimed is not None and generation == self._generation
+                        and claimed not in self._outputs):
+                    self._in_flight.pop(claimed, None)
+                    self._queue.append(claimed)
+                self._state.notify_all()
+
+    def _claim_unit(self, name: str):
+        """Next ``(generation, unit_id, payload)``, or ``None`` on close.
+
+        Blocks while no work is pending — a worker that outlives one
+        sweep stays parked here until the next one (or close()).
+        """
+        with self._state:
+            while not self._closed:
+                if self._queue:
+                    unit_id = self._queue.popleft()
+                    self._in_flight[unit_id] = name
+                    return (self._generation, unit_id,
+                            self._payloads[unit_id])
+                self._state.wait(0.1)
+            return None
+
+    def _record(self, generation: int, unit_id: int, output) -> None:
+        with self._state:
+            if generation != self._generation:
+                return      # straggler from a previous sweep
+            self._in_flight.pop(unit_id, None)
+            # A unit can legitimately complete twice (reassigned off a
+            # partitioned-but-alive worker); both runs computed the
+            # same value, keep the first.
+            if unit_id not in self._outputs:
+                self._outputs[unit_id] = output
+            self._state.notify_all()
+
+    def _record_failure(self, generation: int, error: Exception) -> None:
+        with self._state:
+            if generation == self._generation and self._failure is None:
+                self._failure = error
+            self._state.notify_all()
+
+
+def _heartbeat_loop(sock: socket.socket, send_lock: threading.Lock,
+                    stop: threading.Event, interval: float) -> None:
+    while not stop.wait(interval):
+        try:
+            with send_lock:
+                send_frame(sock, ("ping", None))
+        except OSError:
+            return
+
+
+def _serve_connection(sock: socket.socket, host: str, port: int,
+                      heartbeat_interval: float, emit,
+                      tally: list) -> int:
+    """One connection's worth of work; returns the total unit tally.
+
+    ``tally`` is a single-element running counter owned by
+    :func:`run_worker` — incremented per unit *as it completes*, so the
+    count survives a connection loss and accumulates across reconnects.
+    """
+    served = 0
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+        send_frame(sock, ("hello", {"version": PROTOCOL_VERSION,
+                                    "pid": os.getpid(),
+                                    "host": socket.gethostname()}))
+        kind, info = recv_frame(sock)
+        if kind == "shutdown":
+            return tally[0]
+        if kind != "welcome" or not (isinstance(info, dict)
+                                     and info.get("version")
+                                     == PROTOCOL_VERSION):
+            raise ProtocolError(f"handshake rejected: {kind!r} {info!r}")
+        emit(f"connected to coordinator {host}:{port}")
+        send_lock = threading.Lock()
+        while True:
+            kind, data = recv_frame(sock)
+            if kind == "shutdown":
+                emit(f"coordinator shut down; served {served} unit(s) "
+                     f"on this connection, {tally[0]} in total")
+                return tally[0]
+            if kind != "unit":
+                raise ProtocolError(f"unexpected frame kind {kind!r}")
+            generation, unit_id, payload = data
+            stop = threading.Event()
+            beat = threading.Thread(
+                target=_heartbeat_loop,
+                args=(sock, send_lock, stop, heartbeat_interval),
+                daemon=True)
+            beat.start()
+            try:
+                # Everything fn can raise is already wrapped into a
+                # CellExecutionError naming the owning cell; ship the
+                # message, keep serving.
+                reply = ("result", (generation, unit_id,
+                                    _run_unit(payload)))
+            except Exception as exc:
+                reply = ("error", (generation, unit_id,
+                                   str(exc) or type(exc).__name__))
+            finally:
+                stop.set()
+                beat.join()
+            with send_lock:
+                send_frame(sock, reply)
+            served += 1
+            tally[0] += 1
+    finally:
+        sock.close()
+
+
+def run_worker(host: str, port: int, *,
+               heartbeat_interval: float = HEARTBEAT_INTERVAL,
+               reconnect_attempts: int = 0,
+               reconnect_delay: float = 1.0,
+               log=None) -> int:
+    """Serve sweep units until the coordinator shuts down.
+
+    Returns the number of units served.  ``reconnect_attempts`` retries
+    a refused or lost connection (``reconnect_delay`` seconds apart),
+    which lets worker processes start *before* their coordinator — the
+    CI smoke job and ``perf_snapshot`` both lean on this.  The budget
+    resets every time a connection succeeds, so a long-lived worker can
+    survive any number of coordinator restarts.
+    """
+    emit = log if log is not None else (lambda message: None)
+    attempts = 0
+    tally = [0]
+    while True:
+        try:
+            sock = socket.create_connection((host, port))
+        except OSError as exc:
+            attempts += 1
+            if attempts > reconnect_attempts:
+                raise
+            emit(f"connection to {host}:{port} failed "
+                 f"({type(exc).__name__}: {exc}); "
+                 f"retry {attempts}/{reconnect_attempts} "
+                 f"in {reconnect_delay:.0f}s")
+            time.sleep(reconnect_delay)
+            continue
+        attempts = 0
+        try:
+            return _serve_connection(sock, host, port, heartbeat_interval,
+                                     emit, tally)
+        except (ConnectionError, OSError) as exc:
+            attempts += 1
+            if attempts > reconnect_attempts:
+                raise
+            emit(f"lost coordinator {host}:{port} "
+                 f"({type(exc).__name__}: {exc}); "
+                 f"retry {attempts}/{reconnect_attempts} "
+                 f"in {reconnect_delay:.0f}s")
+            time.sleep(reconnect_delay)

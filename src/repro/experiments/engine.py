@@ -1,4 +1,4 @@
-"""Declarative sweep engine: cell grids fanned out over processes.
+"""Declarative sweep engine: cell grids fanned out over executors.
 
 Every figure/table in :mod:`repro.experiments` is a sweep over
 (code, scheduler, load, ...) cells, each cell either a single
@@ -7,8 +7,14 @@ this engine each module ran its own hand-rolled loop — single-process
 by construction, and numpy holds the GIL on the ``take``/``xor`` hot
 paths, so threads cannot help.  The engine turns the sweep into *data*:
 an experiment declares a grid of self-describing :class:`Cell` specs
-and :func:`run_cells` executes them serially or over a
-``multiprocessing`` pool with chunked dispatch.
+and :func:`run_cells` executes them through a pluggable
+:class:`Executor`:
+
+* :class:`SerialExecutor` — in-process, the reference semantics;
+* :class:`PooledExecutor` — a cached local process pool with chunked
+  dispatch, broken-pool eviction and retry (see below);
+* ``DistributedExecutor`` (:mod:`repro.experiments.distributed`) —
+  remote worker processes over TCP.
 
 Determinism is by construction, not by convention:
 
@@ -17,26 +23,40 @@ Determinism is by construction, not by convention:
   shared between cells, trials or worker processes;
 * trial sharding (``shard_trials``) splits a cell's trial *range* into
   work units whose boundaries depend only on the cell spec, never on
-  the worker count; merged values are ordered by trial index, so every
+  the executor; merged values are ordered by trial index, so every
   shard layout produces bit-identical results;
 * single-call cells (``trials=None``) are pure functions of their
   pickled args.
 
-Consequently ``workers=1`` and ``workers=N`` agree exactly, and any
-individual cell can be re-run in isolation (:meth:`Cell.run`) and
-reproduce its sweep value — both properties are asserted for every
-ported experiment in ``tests/test_engine.py``.
+Consequently ``workers=1``, ``workers=N`` and a distributed run all
+agree exactly, and any individual cell can be re-run in isolation
+(:meth:`Cell.run`) and reproduce its sweep value — both properties are
+asserted for every ported experiment in ``tests/test_engine.py`` and
+over real sockets in ``tests/test_distributed.py``.
+
+Failure paths are hardened:
+
+* a cell whose ``fn`` raises surfaces as :class:`CellExecutionError`
+  naming the owning ``(experiment, key)``, wherever it ran;
+* a pool whose worker process dies (OOM-killed, segfault) is
+  terminated and evicted from the cache, and the batch retries on a
+  fresh pool — after a second pool death it degrades to in-process
+  serial execution rather than hanging or poisoning later sweeps;
+* a dead *distributed* worker's in-flight units are reassigned (see
+  :mod:`repro.experiments.distributed`).
 
 Worker resolution: an explicit ``workers`` argument wins; otherwise the
 ``REPRO_WORKERS`` environment variable; otherwise serial.  ``workers=0``
-(or a negative count) means "one per CPU".
+means "one per CPU"; negative counts are rejected.
 """
 
 from __future__ import annotations
 
 import atexit
 import os
+import warnings
 from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from multiprocessing import get_context
 
@@ -49,15 +69,27 @@ WORKERS_ENV = "REPRO_WORKERS"
 #: calls — pool start-up costs ~0.1 s per worker on sandboxed kernels,
 #: which would otherwise swamp sub-second sweeps.  Safe to reuse
 #: because work units reach workers as pickled ``(fn, args, seeds,
-#: range)`` tuples; no parent state leaks.
-_POOLS: dict[int, object] = {}
+#: range, owner)`` tuples; no parent state leaks.  A pool whose worker
+#: dies is evicted by :class:`PooledExecutor`, so a crash never
+#: poisons later sweeps at the same worker count.
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+class CellExecutionError(RuntimeError):
+    """A cell's ``fn`` raised; the message names the owning cell.
+
+    Raised in place of the original exception so a failure in a
+    thousand-cell sweep — possibly on a remote worker — still says
+    *which* ``(experiment, key)`` to re-run in isolation.  The
+    original exception is chained as ``__cause__`` when the failure
+    happened in-process.
+    """
 
 
 def shutdown_pools() -> None:
-    """Terminate every cached worker pool (registered via atexit)."""
+    """Shut down every cached worker pool (registered via atexit)."""
     for pool in _POOLS.values():
-        pool.terminate()
-        pool.join()
+        pool.shutdown(wait=False, cancel_futures=True)
     _POOLS.clear()
 
 
@@ -82,7 +114,9 @@ class Cell:
             (Fig. 3 evaluates every scheduler on the same placements).
         reduce: merges the trial-ordered value list into the cell
             result; defaults to :meth:`CellStats.from_values`.  Runs in
-            the parent process, so it need not pickle.
+            the parent process, so it need not pickle.  Only valid with
+            ``trials`` set — a single-call cell returns ``fn(*args)``
+            directly and would silently skip the reduce.
         shard_trials: max trials per work unit.  Heavy Monte-Carlo
             cells set this so one cell fans out over several workers;
             results are unaffected (see module docstring).
@@ -107,6 +141,12 @@ class Cell:
             )
         if self.trials is not None and self.trials < 1:
             raise ValueError("a trial cell needs at least one trial")
+        if self.trials is None and self.reduce is not None:
+            raise ValueError(
+                f"cell {self.key!r}: reduce is only applied to trial "
+                "cells — a single-call cell (trials=None) returns "
+                "fn(*args) unreduced; set trials or drop the reduce"
+            )
         if self.shard_trials is not None and self.shard_trials < 1:
             raise ValueError("shard_trials must be positive")
 
@@ -118,13 +158,15 @@ class Cell:
     def unit_payload(self, lo: int, hi: int) -> tuple:
         """The picklable work-unit tuple shipped to a worker.
 
-        Deliberately *not* the cell itself: only ``fn``, ``args`` and
-        the seed components cross the process boundary, so ``reduce``
+        Deliberately *not* the cell itself: only ``fn``, ``args``, the
+        seed components and the owning ``(experiment, key)`` (for
+        failure attribution) cross the process boundary, so ``reduce``
         (which runs in the parent) really need not pickle.
         """
+        owner = (self.experiment, self.key)
         if self.trials is None:
-            return (self.fn, self.args, None, 0, 0)
-        return (self.fn, self.args, self.seed_components, lo, hi)
+            return (self.fn, self.args, None, 0, 0, owner)
+        return (self.fn, self.args, self.seed_components, lo, hi, owner)
 
     def finish(self, values: list):
         """Reduce trial-ordered values into the cell result."""
@@ -135,14 +177,17 @@ class Cell:
     def run(self):
         """Run this cell alone, serially — reproduces its sweep value."""
         if self.trials is None:
-            return self.fn(*self.args)
+            return _run_unit(self.unit_payload(0, 0))
         return self.finish(_run_unit(self.unit_payload(0, self.trials)))
 
 
 def resolve_workers(workers: int | None = None) -> int:
     """Effective worker count: argument, else ``REPRO_WORKERS``, else 1.
 
-    Zero or negative means one worker per CPU.
+    ``0`` means one worker per CPU.  Negative counts and non-integer
+    environment values are rejected loudly — they used to be silently
+    treated as "one per CPU", drifting from the CLI's documented
+    contract.
     """
     if workers is None:
         env = os.environ.get(WORKERS_ENV, "").strip()
@@ -152,10 +197,17 @@ def resolve_workers(workers: int | None = None) -> int:
             workers = int(env)
         except ValueError:
             raise ValueError(
-                f"{WORKERS_ENV} must be an integer worker count, "
-                f"got {env!r}"
+                f"{WORKERS_ENV} must be a non-negative integer worker "
+                f"count (0: one per CPU), got {env!r}"
             ) from None
-    if workers <= 0:
+        source = f"{WORKERS_ENV}={env}"
+    else:
+        source = f"workers={workers}"
+    if workers < 0:
+        raise ValueError(
+            f"{source}: worker count must be >= 0 (0 means one per CPU)"
+        )
+    if workers == 0:
         return os.cpu_count() or 1
     return workers
 
@@ -164,8 +216,8 @@ def _plan_units(cells: Sequence[Cell]) -> list[tuple[int, int, int]]:
     """Shard every cell into ``(cell_index, trial_lo, trial_hi)`` units.
 
     Boundaries are a pure function of the cell specs, so the unit list
-    — and therefore every merged result — is identical for any worker
-    count.
+    — and therefore every merged result — is identical for any
+    executor.
     """
     units: list[tuple[int, int, int]] = []
     for index, cell in enumerate(cells):
@@ -183,12 +235,24 @@ def _run_unit(payload: tuple):
 
     Single-call units (``seeds is None``) return ``fn(*args)``; trial
     units return the value list for trials ``lo..hi-1``, each evaluated
-    against its own generator.
+    against its own generator.  Any exception out of ``fn`` is
+    re-raised as :class:`CellExecutionError` naming the owning cell, so
+    a failure deep inside a fanned-out sweep is attributable.
     """
-    fn, args, seeds, lo, hi = payload
-    if seeds is None:
-        return fn(*args)
-    return [fn(trial_rng(*seeds, trial), *args) for trial in range(lo, hi)]
+    fn, args, seeds, lo, hi, owner = payload
+    try:
+        if seeds is None:
+            return fn(*args)
+        return [fn(trial_rng(*seeds, trial), *args)
+                for trial in range(lo, hi)]
+    except CellExecutionError:
+        raise
+    except Exception as exc:
+        experiment, key = owner
+        raise CellExecutionError(
+            f"cell {key!r} of experiment {experiment!r} failed with "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def _pool_context():
@@ -199,39 +263,130 @@ def _pool_context():
         return get_context()
 
 
-def _pool(workers: int):
+def _pool(workers: int) -> ProcessPoolExecutor:
     """A cached pool of ``workers`` processes, created on first use."""
     pool = _POOLS.get(workers)
     if pool is None:
-        pool = _POOLS[workers] = _pool_context().Pool(processes=workers)
+        pool = _POOLS[workers] = ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context())
     return pool
 
 
-def run_cells(cells: Iterable[Cell], workers: int | None = None) -> list:
+def _evict_pool(workers: int) -> None:
+    """Drop (and shut down) the cached pool at ``workers``, if any."""
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+class Executor:
+    """Pluggable strategy executing a batch of work-unit payloads.
+
+    :meth:`run` receives the payload list planned by :func:`run_cells`
+    (each payload a picklable ``Cell.unit_payload`` tuple) and must
+    return the per-unit outputs aligned with the inputs.  Because unit
+    semantics live entirely in the payload, *where* an executor runs
+    them — in-process, a local pool, remote machines — cannot change
+    the merged results.
+    """
+
+    def run(self, payloads: list) -> list:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Run every unit in-process; the reference semantics."""
+
+    def run(self, payloads: list) -> list:
+        return [_run_unit(payload) for payload in payloads]
+
+
+class PooledExecutor(Executor):
+    """Fan units out over a cached local process pool.
+
+    Failure containment: a :class:`CellExecutionError` is the cell's
+    own bug and propagates untouched, but any *infrastructure* failure
+    (a worker process dying mid-batch breaks the whole pool) evicts
+    the cached pool, and the batch retries once on a fresh pool.  A
+    second pool death falls back to in-process serial execution — a
+    deterministic crasher then surfaces its real error instead of a
+    broken-pool message.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("PooledExecutor needs at least one worker")
+        self.workers = workers
+
+    def run(self, payloads: list) -> list:
+        if self.workers == 1 or len(payloads) == 1:
+            return SerialExecutor().run(payloads)
+        # The pool is cached at the *requested* count (idle workers are
+        # harmless; a second pool per batch size would not be).
+        effective = min(self.workers, len(payloads))
+        chunksize = max(1, len(payloads) // (effective * 4))
+        for _ in range(2):
+            pool = _pool(self.workers)
+            try:
+                return list(pool.map(_run_unit, payloads,
+                                     chunksize=chunksize))
+            except CellExecutionError:
+                raise
+            except Exception as exc:
+                _evict_pool(self.workers)
+                warnings.warn(
+                    f"worker pool ({self.workers} processes) broke with "
+                    f"{type(exc).__name__}: {exc}; evicted the cached "
+                    "pool and retrying the batch",
+                    RuntimeWarning, stacklevel=2)
+        return SerialExecutor().run(payloads)
+
+
+#: Shared serial strategy (stateless, so one instance suffices).
+_SERIAL = SerialExecutor()
+
+
+def _resolve_executor(workers, executor: Executor | None) -> Executor:
+    """Pick the executor: explicit object, else derived from ``workers``.
+
+    ``workers`` may itself be an :class:`Executor` instance — the CLI
+    threads ``--distributed`` coordinators through the experiment
+    builders' existing ``workers`` parameter.
+    """
+    if executor is not None:
+        if not isinstance(executor, Executor):
+            raise TypeError(
+                f"executor must be an Executor instance, got "
+                f"{type(executor).__name__}; pass worker counts via "
+                "the workers argument"
+            )
+        return executor
+    if isinstance(workers, Executor):
+        return workers
+    count = resolve_workers(workers)
+    return _SERIAL if count == 1 else PooledExecutor(count)
+
+
+def run_cells(cells: Iterable[Cell],
+              workers: int | Executor | None = None, *,
+              executor: Executor | None = None) -> list:
     """Run every cell; returns results aligned with the input order.
 
-    With ``workers`` resolving above 1 the units fan out over a process
-    pool with chunked dispatch; otherwise they run in-process.  Either
-    way the merged results are bit-identical (asserted by the engine's
+    ``workers`` picks a built-in executor (serial at 1, pooled above);
+    passing an :class:`Executor` — either as ``executor=`` or directly
+    as ``workers`` — substitutes any other strategy, e.g. the
+    socket-based ``DistributedExecutor``.  Whatever runs the units,
+    the merged results are bit-identical (asserted by the engine's
     test suite for every ported experiment).
     """
     cells = list(cells)
     if not cells:
         return []
     units = _plan_units(cells)
-    workers = resolve_workers(workers)
     payloads = [cells[index].unit_payload(lo, hi) for index, lo, hi in units]
-    if workers <= 1 or len(units) == 1:
-        outputs = [_run_unit(payload) for payload in payloads]
-    else:
-        # The pool is cached at the *resolved* count (idle workers are
-        # harmless; a second pool per unit-count would not be).
-        effective = min(workers, len(units))
-        chunksize = max(1, len(payloads) // (effective * 4))
-        outputs = _pool(workers).map(_run_unit, payloads,
-                                     chunksize=chunksize)
+    outputs = _resolve_executor(workers, executor).run(payloads)
     # Merge: units were planned in cell order with ascending trial
-    # ranges and pool.map preserves order, so grouping by cell index
+    # ranges and executors preserve order, so grouping by cell index
     # concatenates each cell's values in trial order.
     results: list = [None] * len(cells)
     pending: dict[int, list] = {}
@@ -246,7 +401,9 @@ def run_cells(cells: Iterable[Cell], workers: int | None = None) -> list:
     return results
 
 
-def run_keyed(cells: Iterable[Cell], workers: int | None = None) -> dict:
+def run_keyed(cells: Iterable[Cell],
+              workers: int | Executor | None = None, *,
+              executor: Executor | None = None) -> dict:
     """:func:`run_cells`, returned as ``{cell.key: result}``.
 
     Keys must be unique across the batch (duplicate keys are a spec
@@ -259,4 +416,6 @@ def run_keyed(cells: Iterable[Cell], workers: int | None = None) -> dict:
             raise ValueError(f"duplicate cell key {cell.key!r}")
         seen.add(cell.key)
     return {cell.key: result
-            for cell, result in zip(cells, run_cells(cells, workers))}
+            for cell, result in zip(cells,
+                                    run_cells(cells, workers,
+                                              executor=executor))}

@@ -108,6 +108,16 @@ class FigureResult:
     def labels(self) -> list[str]:
         return [entry.label for entry in self.series]
 
+    def points(self) -> list[tuple]:
+        """Flatten to comparable ``(label, xs, ys, spreads)`` tuples.
+
+        The canonical way to assert two regenerations of a figure are
+        bit-identical — used by the engine/distributed test suites and
+        the perf snapshot's ``bit_identical`` check.
+        """
+        return [(entry.label, list(entry.xs), list(entry.ys),
+                 list(entry.spreads)) for entry in self.series]
+
 
 def sweep_series(label: str, xs: Iterable[float],
                  cell: Callable[[float], CellStats]) -> Series:

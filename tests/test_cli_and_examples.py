@@ -26,6 +26,50 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig9"])
 
+    def test_workers_validation_matches_resolve_workers(self):
+        """CLI help says 0 means one per CPU; negatives are rejected at
+        the parser, like resolve_workers does."""
+        assert build_parser().parse_args(["fig3", "--workers", "0"]).workers == 0
+        assert build_parser().parse_args(["fig3", "--workers", "4"]).workers == 4
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--workers", "-1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--workers", "many"])
+
+    def test_worker_subcommand(self):
+        args = build_parser().parse_args(
+            ["worker", "127.0.0.1:7571", "--retries", "3"])
+        assert args.command == "worker"
+        assert args.address == "127.0.0.1:7571"
+        assert args.retries == 3
+
+    def test_address_and_heartbeat_validation(self):
+        """Malformed HOST:PORT or an out-of-budget heartbeat interval
+        fail at the parser, not as a traceback mid-run."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--distributed", "localhost"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker", "localhost"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker", "h:1", "--heartbeat", "45"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker", "h:1", "--heartbeat", "0"])
+        args = build_parser().parse_args(["worker", "h:1",
+                                          "--heartbeat", "0.5"])
+        assert args.heartbeat == 0.5
+
+    def test_every_sweep_subcommand_accepts_distributed(self):
+        for command in ("table1", "fig3", "fig4", "fig5", "repair",
+                        "ablations", "all"):
+            args = build_parser().parse_args(
+                [command, "--distributed", "127.0.0.1:0"])
+            assert args.distributed == "127.0.0.1:0"
+
+    def test_workers_and_distributed_are_mutually_exclusive(self, capsys):
+        assert main(["fig3", "--workers", "2",
+                     "--distributed", "127.0.0.1:0"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_table1(self, capsys):

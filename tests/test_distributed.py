@@ -1,0 +1,308 @@
+"""Distributed executor: a loopback coordinator driving real
+``repro worker`` subprocesses must reproduce serial sweeps
+bit-identically — including when a worker is killed mid-sweep or goes
+silent and its units are reassigned — and must surface cell errors
+with their owning (experiment, key)."""
+
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.experiments import fig3, table1
+from repro.experiments.distributed import (
+    PROTOCOL_VERSION,
+    DistributedExecutor,
+    ProtocolError,
+    parse_hostport,
+    recv_frame,
+    run_worker,
+    send_frame,
+)
+from repro.experiments.engine import Cell, CellExecutionError, run_cells
+
+SRC_DIR = pathlib.Path(repro.__file__).resolve().parent.parent
+TESTS_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def plain_trial(rng, scale):
+    """Top-level trial fn for protocol tests."""
+    return scale * float(rng.random())
+
+
+def slow_trial(rng, delay):
+    """Same value stream as ``plain_trial(rng, 1.0)``, but slow enough
+    that a sweep is reliably in flight when we sabotage a worker."""
+    time.sleep(delay)
+    return float(rng.random())
+
+
+def boom_trial(rng, message):
+    raise RuntimeError(message)
+
+
+def spawn_worker(address, retries=30):
+    """A real ``python -m repro worker`` subprocess aimed at ``address``.
+
+    The tests directory rides along on PYTHONPATH so payload functions
+    defined in this module unpickle inside the worker.
+    """
+    env = dict(os.environ)
+    parts = [str(SRC_DIR), str(TESTS_DIR)]
+    if env.get("PYTHONPATH"):
+        parts.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         f"{address[0]}:{address[1]}", "--retries", str(retries)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def reap(procs, timeout=15):
+    for proc in procs:
+        try:
+            proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+@pytest.fixture
+def cluster():
+    """A coordinator plus two real worker subprocesses over loopback."""
+    with DistributedExecutor(heartbeat_timeout=10.0) as executor:
+        procs = [spawn_worker(executor.address) for _ in range(2)]
+        try:
+            executor.wait_for_workers(2, timeout=60)
+            yield executor, procs
+        finally:
+            executor.close()
+            reap(procs)
+
+
+def series_points(figure):
+    return figure.points()
+
+
+class TestWireFormat:
+    def test_parse_hostport(self):
+        assert parse_hostport("127.0.0.1:7571") == ("127.0.0.1", 7571)
+        assert parse_hostport("node-3.cluster:0") == ("node-3.cluster", 0)
+        for bad in ("7571", ":7571", "host:", "host:many", "host:70000"):
+            with pytest.raises(ValueError):
+                parse_hostport(bad)
+
+    def test_frame_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            message = ("unit", (3, 7, (plain_trial, (1.0,), ("t", 0), 0, 4,
+                                       ("t", (0,)))))
+            send_frame(a, message)
+            send_frame(a, ("ping", None))
+            assert recv_frame(b) == message
+            assert recv_frame(b) == ("ping", None)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x00\x00\x00\xff partial")
+            a.close()
+            with pytest.raises(ConnectionError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\xff\xff\xff\xff")
+            with pytest.raises(ProtocolError, match="cap"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestBitIdentical:
+    """The acceptance bar: coordinator + 2 worker subprocesses over
+    loopback == serial workers=1, for real paper sweeps."""
+
+    def test_fig3_panel(self, cluster):
+        executor, _ = cluster
+        serial = fig3.locality_panel(2, trials=4, workers=1)
+        distributed = fig3.locality_panel(2, trials=4, workers=executor)
+        assert series_points(serial) == series_points(distributed)
+
+    def test_table1_monte_carlo_sharded(self, cluster):
+        executor, _ = cluster
+        serial = table1.monte_carlo_validation(
+            codes=("3-rep",), trials=40, shard_trials=10, workers=1)
+        distributed = table1.monte_carlo_validation(
+            codes=("3-rep",), trials=40, shard_trials=10, workers=executor)
+        assert serial == distributed
+
+    def test_executor_is_reusable_across_sweeps(self, cluster):
+        executor, _ = cluster
+        cells = [Cell(experiment="t", key=(i,), fn=plain_trial, args=(2.0,),
+                      trials=3) for i in range(5)]
+        expected = run_cells(cells, workers=1)
+        assert run_cells(cells, workers=executor) == expected
+        assert run_cells(cells, workers=executor) == expected
+
+
+class TestFailureRecovery:
+    def test_worker_killed_mid_sweep_is_reassigned(self, cluster):
+        """SIGKILL one of the two workers while units are in flight;
+        the survivor absorbs the dead worker's queue and the merged
+        results stay bit-identical to the serial run."""
+        executor, procs = cluster
+        cells = [Cell(experiment="kill", key=(i,), fn=slow_trial,
+                      args=(0.3,), trials=1) for i in range(10)]
+        expected = run_cells(
+            [Cell(experiment="kill", key=(i,), fn=plain_trial, args=(1.0,),
+                  trials=1) for i in range(10)],
+            workers=1)
+        box = {}
+        driver = threading.Thread(
+            target=lambda: box.setdefault(
+                "result", run_cells(cells, workers=executor)))
+        driver.start()
+        time.sleep(0.8)             # both workers mid-unit by now
+        procs[0].send_signal(signal.SIGKILL)
+        driver.join(timeout=60)
+        assert not driver.is_alive()
+        assert box["result"] == expected
+        assert procs[1].poll() is None      # the survivor kept serving
+
+    def test_fig3_sweep_with_worker_killed_mid_sweep(self, cluster):
+        """The acceptance bar end-to-end: a real fig3 sweep stays
+        bit-identical to serial when one of the two workers dies
+        partway through."""
+        executor, procs = cluster
+        serial = fig3.locality_panel(2, trials=20, workers=1)
+        box = {}
+        driver = threading.Thread(
+            target=lambda: box.setdefault(
+                "result", fig3.locality_panel(2, trials=20,
+                                              workers=executor)))
+        driver.start()
+        time.sleep(0.4)
+        procs[0].send_signal(signal.SIGKILL)
+        driver.join(timeout=120)
+        assert not driver.is_alive()
+        assert series_points(box["result"]) == series_points(serial)
+        assert procs[1].poll() is None
+
+    def test_silent_worker_times_out_and_unit_is_reassigned(self):
+        """A worker that claims a unit and then neither answers nor
+        heartbeats is declared dead after heartbeat_timeout and its
+        unit goes back on the queue."""
+        with DistributedExecutor(heartbeat_timeout=1.0) as executor:
+            host, port = executor.address
+            saboteur = socket.create_connection((host, port))
+            try:
+                send_frame(saboteur, ("hello", {"version": PROTOCOL_VERSION,
+                                                "pid": 0, "host": "sab"}))
+                kind, _ = recv_frame(saboteur)
+                assert kind == "welcome"
+                cells = [Cell(experiment="hb", key=(i,), fn=plain_trial,
+                              args=(1.0,), trials=2) for i in range(4)]
+                expected = run_cells(cells, workers=1)
+                box = {}
+                driver = threading.Thread(
+                    target=lambda: box.setdefault(
+                        "result", run_cells(cells, workers=executor)))
+                driver.start()
+                kind, _ = recv_frame(saboteur)   # steal a unit, go silent
+                assert kind == "unit"
+                honest = threading.Thread(target=run_worker,
+                                          args=(host, port), daemon=True)
+                honest.start()
+                driver.join(timeout=30)
+                assert not driver.is_alive()
+                assert box["result"] == expected
+            finally:
+                saboteur.close()
+
+    def test_late_joining_worker_completes_a_waiting_sweep(self):
+        with DistributedExecutor() as executor:
+            cells = [Cell(experiment="late", key=(i,), fn=plain_trial,
+                          args=(3.0,), trials=2) for i in range(3)]
+            expected = run_cells(cells, workers=1)
+            box = {}
+            driver = threading.Thread(
+                target=lambda: box.setdefault(
+                    "result", run_cells(cells, workers=executor)))
+            driver.start()
+            time.sleep(0.3)          # sweep is queued, nobody to run it
+            host, port = executor.address
+            threading.Thread(target=run_worker, args=(host, port),
+                             daemon=True).start()
+            driver.join(timeout=30)
+            assert not driver.is_alive()
+            assert box["result"] == expected
+
+    def test_cell_error_propagates_with_owner(self):
+        """A failing cell aborts the sweep with its (experiment, key),
+        and the workers survive to serve the next sweep."""
+        with DistributedExecutor() as executor:
+            host, port = executor.address
+            threading.Thread(target=run_worker, args=(host, port),
+                             daemon=True).start()
+            executor.wait_for_workers(1, timeout=30)
+            bad = [Cell(experiment="exp", key=("bad", 7), fn=boom_trial,
+                        args=("kaput",), trials=2)]
+            with pytest.raises(CellExecutionError,
+                               match=r"\('bad', 7\).*'exp'.*kaput"):
+                run_cells(bad, workers=executor)
+            good = [Cell(experiment="exp", key=("ok",), fn=plain_trial,
+                         args=(1.0,), trials=2)]
+            assert run_cells(good, workers=executor) == run_cells(good,
+                                                                  workers=1)
+
+    def test_cli_distributed_subcommand_end_to_end(self, capsys):
+        """`repro fig3 --distributed` drives a real worker subprocess."""
+        from repro.cli import main
+
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        host, port = placeholder.getsockname()
+        placeholder.close()
+        proc = spawn_worker((host, port), retries=60)
+        try:
+            assert main(["fig3", "--mu", "2", "--trials", "2",
+                         "--distributed", f"{host}:{port}"]) == 0
+            out = capsys.readouterr().out
+            assert "[distributed]" in out
+            assert "hept-DS" in out
+        finally:
+            reap([proc])
+
+    def test_worker_retries_until_coordinator_appears(self):
+        """`repro worker --retries` lets workers start first (the CI
+        smoke job and perf snapshot rely on this)."""
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        host, port = placeholder.getsockname()
+        placeholder.close()          # free the port for the coordinator
+        proc = spawn_worker((host, port), retries=40)
+        try:
+            time.sleep(0.5)          # worker is now in its retry loop
+            with DistributedExecutor(host, port) as executor:
+                executor.wait_for_workers(1, timeout=60)
+                cells = [Cell(experiment="retry", key=(i,), fn=plain_trial,
+                              args=(1.0,), trials=2) for i in range(3)]
+                assert (run_cells(cells, workers=executor)
+                        == run_cells(cells, workers=1))
+        finally:
+            reap([proc])

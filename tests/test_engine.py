@@ -1,6 +1,10 @@
-"""Sweep-engine determinism: every ported experiment must produce
-bit-identical results at any worker count, any shard layout, and under
-single-cell re-runs (small trial counts keep the suite fast)."""
+"""Sweep-engine determinism and failure paths: every ported experiment
+must produce bit-identical results at any worker count, any shard
+layout, and under single-cell re-runs (small trial counts keep the
+suite fast); crashed pool workers must not poison later sweeps."""
+
+import os
+import signal
 
 import numpy as np
 import pytest
@@ -15,7 +19,17 @@ from repro.experiments import (
     table1,
     transient,
 )
-from repro.experiments.engine import Cell, resolve_workers, run_cells, run_keyed
+from repro.experiments import engine
+from repro.experiments.engine import (
+    Cell,
+    CellExecutionError,
+    Executor,
+    PooledExecutor,
+    SerialExecutor,
+    resolve_workers,
+    run_cells,
+    run_keyed,
+)
 from repro.experiments.runner import CellStats, trial_rng
 
 WORKERS = 4
@@ -31,8 +45,28 @@ def identity_cell(value):
     return value
 
 
+def failing_trial(rng, message):
+    """Top-level trial fn that always raises (attribution tests)."""
+    raise ValueError(message)
+
+
+def kill_worker_once(rng, sentinel_path):
+    """SIGKILL the hosting process the first time any worker runs this.
+
+    The sentinel file is created atomically, so exactly one execution
+    dies; every later one (fresh pool, or the in-process fallback)
+    returns the same value ``draw_trial(rng, 1.0)`` would.
+    """
+    try:
+        fd = os.open(sentinel_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return float(rng.random())
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 def series_points(figure):
-    return [(s.label, s.xs, s.ys, s.spreads) for s in figure.series]
+    return figure.points()
 
 
 class TestEngineInfrastructure:
@@ -91,6 +125,13 @@ class TestEngineInfrastructure:
         with pytest.raises(ValueError):
             Cell(experiment="t", key=("a",), fn=draw_trial, trials=0)
 
+    def test_rejects_reduce_on_single_call_cells(self):
+        """A single-call cell would silently skip its reduce — loud spec
+        bug instead of un-reduced results."""
+        with pytest.raises(ValueError, match="reduce"):
+            Cell(experiment="t", key=("a",), fn=identity_cell, args=(1,),
+                 reduce=list)
+
     def test_resolve_workers_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
         assert resolve_workers(None) == 1
@@ -98,8 +139,118 @@ class TestEngineInfrastructure:
         monkeypatch.setenv("REPRO_WORKERS", "5")
         assert resolve_workers(None) == 5
         assert resolve_workers(2) == 2
-        import os
         assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_resolve_workers_rejects_bad_counts(self, monkeypatch):
+        """CLI help, env var and resolve_workers agree: >= 0, 0 per CPU."""
+        with pytest.raises(ValueError, match=">= 0"):
+            resolve_workers(-1)
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.raises(ValueError, match=">= 0"):
+            resolve_workers(None)
+        monkeypatch.setenv("REPRO_WORKERS", "two")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+
+
+class RecordingExecutor(Executor):
+    """Test double: runs in-process, remembers every batch it was given."""
+
+    def __init__(self):
+        self.batches = []
+
+    def run(self, payloads):
+        self.batches.append(list(payloads))
+        return [engine._run_unit(payload) for payload in payloads]
+
+
+class TestExecutorSeam:
+    def _cells(self):
+        return [Cell(experiment="t", key=(i,), fn=draw_trial, args=(2.0,),
+                     trials=3) for i in range(4)]
+
+    def test_custom_executor_matches_serial(self):
+        recording = RecordingExecutor()
+        assert (run_cells(self._cells(), executor=recording)
+                == run_cells(self._cells(), workers=1))
+        assert len(recording.batches) == 1
+        assert len(recording.batches[0]) == 4
+
+    def test_workers_argument_accepts_an_executor(self):
+        """The CLI threads --distributed coordinators through the
+        builders' existing workers parameter."""
+        recording = RecordingExecutor()
+        assert (run_cells(self._cells(), workers=recording)
+                == run_cells(self._cells(), workers=1))
+        assert recording.batches
+
+    def test_builtin_executors_agree(self):
+        serial = SerialExecutor()
+        pooled = PooledExecutor(WORKERS)
+        payloads = [cell.unit_payload(0, cell.trials)
+                    for cell in self._cells()]
+        assert serial.run(payloads) == pooled.run(payloads)
+
+    def test_rejects_non_executor(self):
+        with pytest.raises(TypeError, match="Executor"):
+            run_cells(self._cells(), executor=3)
+        with pytest.raises(ValueError):
+            PooledExecutor(0)
+
+
+class TestFailurePaths:
+    def test_cell_failure_names_owner_serial(self):
+        cell = Cell(experiment="exp", key=("bad", 1), fn=failing_trial,
+                    args=("boom",), trials=2)
+        with pytest.raises(CellExecutionError,
+                           match=r"cell \('bad', 1\) of experiment 'exp'"
+                                 r".*ValueError: boom"):
+            run_cells([cell], workers=1)
+
+    def test_cell_failure_names_owner_pooled(self):
+        cells = [Cell(experiment="exp", key=("ok",), fn=draw_trial,
+                      args=(1.0,), trials=2),
+                 Cell(experiment="exp", key=("bad", 2), fn=failing_trial,
+                      args=("pow",), trials=2)]
+        with pytest.raises(CellExecutionError, match=r"\('bad', 2\)"):
+            run_cells(cells, workers=2)
+        # a cell bug must not evict the (healthy) cached pool
+        assert 2 in engine._POOLS
+
+    def test_killed_pool_worker_is_evicted_and_batch_retried(self, tmp_path):
+        """An OOM-killed worker breaks the whole pool; the engine must
+        evict the cached entry, rerun on a fresh pool, and keep later
+        sweeps at that count working."""
+        sentinel = str(tmp_path / "killed")
+        cells = [Cell(experiment="kill", key=(i,), fn=kill_worker_once,
+                      args=(sentinel,), trials=3) for i in range(6)]
+        expected = run_cells(
+            [Cell(experiment="kill", key=(i,), fn=draw_trial, args=(1.0,),
+                  trials=3) for i in range(6)],
+            workers=1)
+        with pytest.warns(RuntimeWarning, match="evicted"):
+            assert run_cells(cells, workers=2) == expected
+        assert os.path.exists(sentinel)
+        # the cache now holds a healthy replacement pool
+        assert run_cells(cells, workers=2) == expected
+
+    def test_second_pool_failure_falls_back_to_serial(self, monkeypatch):
+        class AlwaysBroken:
+            def map(self, fn, payloads, chunksize=1):
+                raise RuntimeError("pool is a smoking crater")
+
+        built, evicted = [], []
+        monkeypatch.setattr(
+            engine, "_pool",
+            lambda workers: built.append(workers) or AlwaysBroken())
+        monkeypatch.setattr(
+            engine, "_evict_pool", lambda workers: evicted.append(workers))
+        cells = [Cell(experiment="t", key=(i,), fn=draw_trial, args=(1.0,),
+                      trials=2) for i in range(3)]
+        with pytest.warns(RuntimeWarning):
+            assert run_cells(cells, workers=3) == run_cells(cells, workers=1)
+        assert built == [3, 3]
+        assert evicted == [3, 3]
 
 
 class TestExperimentDeterminism:
