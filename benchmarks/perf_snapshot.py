@@ -6,9 +6,10 @@ Usage::
 
 Produces ``results/BENCH_<YYYY-MM-DD>[_NAME].json`` with encode/decode
 throughput, Monte-Carlo simulation wall time, decodability-engine
-timings, end-to-end sweep wall-clock at 1 vs 4 workers, and a
-distributed-sweep section (coordinator + loopback `repro worker`
-subprocesses), so the perf trajectory is tracked PR over PR (commit
+timings, serial-vs-sharded exact-reliability mask enumeration, end-to-end
+sweep wall-clock at 1 vs 4 workers, and a distributed-sweep section
+(coordinator + loopback `repro worker` subprocesses), so the perf
+trajectory is tracked PR over PR (commit
 the file with the change that moved the numbers; ``--tag`` avoids
 clobbering a same-day baseline).  Timings are medians of several
 repetitions; throughputs are MB/s over the stripe's data payload.
@@ -31,7 +32,11 @@ import numpy as np
 
 from repro.core import make_code
 from repro.experiments import fig3, fig5
-from repro.reliability import ReliabilityParams, simulate_group_mttd
+from repro.reliability import (
+    ReliabilityParams,
+    recoverable_mask_table,
+    simulate_group_mttd,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 BLOCK_BYTES = 1 << 20
@@ -88,9 +93,64 @@ def snapshot() -> dict:
         seconds = median_seconds(
             lambda: make_code(name).fault_tolerance, repeats=3)
         record["fault_tolerance_s"][name] = round(seconds, 4)
+    record["mask_enum_s"] = mask_enum_benchmark()
     record["sweep_s"] = sweep_benchmark()
     record["distributed_s"] = distributed_benchmark()
     return record
+
+
+def mask_enum_benchmark(workers: int = 2, repeats: int = 5) -> dict:
+    """Exact-reliability enumeration: serial vs sharded wall-clock.
+
+    Times the full 2**16-mask recoverability table of the 3-group
+    pentagon-local code (16 slots — one past the old 15-slot wall,
+    rank-test bound) serially and sharded over ``workers`` pool
+    processes, plus the closed-form heptagon-local table (2**15 masks,
+    bit-count bound) as the cheap reference.  Three numbers per code:
+    ``workers_1`` (fresh code, empty rank memo), the *cold* sharded run
+    (fresh pool, so start-up and cold worker caches are priced in —
+    expect ~breakeven on this 2-vCPU container; the fan-out pays on
+    real multi-core/multi-host hardware), and ``repeat_warm`` — the
+    same sharded call again on the live pool, where the workers'
+    shard-code caches already hold the rank memos, the amortized cost
+    of repeated enumerations (validation + chain build in one session).
+    The merged tables are bit-identical by construction; the snapshot
+    records that too.
+    """
+    from repro.experiments.engine import shutdown_pools
+
+    out: dict = {"workers": workers}
+    for label, name in (("pentagon_local_3g_2p16", "pentagon-local(3g,2p)"),
+                        ("heptagon_local_2p15", "heptagon-local")):
+        serial_times, cold_times, warm_times = [], [], []
+        for _ in range(repeats):
+            code = make_code(name)
+            start = time.perf_counter()
+            # workers=1 explicitly: a stray REPRO_WORKERS would
+            # otherwise shard the run recorded as the serial baseline.
+            serial = recoverable_mask_table(code, workers=1)
+            serial_times.append(time.perf_counter() - start)
+            shutdown_pools()    # cold shard caches + pool start-up cost
+            code = make_code(name)
+            start = time.perf_counter()
+            sharded = recoverable_mask_table(code, workers=workers)
+            cold_times.append(time.perf_counter() - start)
+            code = make_code(name)
+            start = time.perf_counter()
+            recoverable_mask_table(code, workers=workers)
+            warm_times.append(time.perf_counter() - start)
+        one = statistics.median(serial_times)
+        cold = statistics.median(cold_times)
+        out[label] = {
+            "masks": 1 << make_code(name).length,
+            "workers_1": round(one, 3),
+            f"workers_{workers}_cold": round(cold, 3),
+            f"workers_{workers}_repeat_warm": round(
+                statistics.median(warm_times), 3),
+            "speedup_cold": round(one / cold, 2),
+            "bit_identical": bool((serial == sharded).all()),
+        }
+    return out
 
 
 def _spin(seconds: float) -> int:

@@ -8,6 +8,7 @@ Usage::
     python -m repro fig4 --runs 10
     python -m repro fig5 --workers 4
     python -m repro repair
+    python -m repro families --uber 1e-4 --workers 2
     python -m repro ablations
     python -m repro all
 
@@ -47,6 +48,7 @@ import sys
 
 from .experiments import (
     ablations,
+    families,
     fig3,
     fig4,
     fig5,
@@ -119,6 +121,21 @@ def run_repair(args: argparse.Namespace) -> None:
                        [m.as_list() for m in measurements],
                        title="Repair / degraded-read bandwidth (blocks)"))
     _print_checks(repair_bandwidth.shape_checks(measurements))
+
+
+def run_families(args: argparse.Namespace) -> None:
+    result = families.build_families(
+        codes=tuple(args.codes) if args.codes else families.FAMILY_CODES,
+        node_count=args.node_count, uber_block_prob=args.uber,
+        workers=args.workers)
+    print(render_table(
+        families.FamiliesResult.HEADERS, result.as_rows(),
+        title=(f"Polygon-local families ({args.node_count}-node system, "
+               f"UBER {result.uber_block_prob:g}/block)")))
+    mttf = result.params.node_mttf_hours / 8766.0
+    print(f"\ncalibrated node MTTF: {mttf:.1f} years "
+          f"(MTTR {result.params.node_mttr_hours:.0f} h)")
+    _print_checks(families.shape_checks(result))
 
 
 def run_ablations(args: argparse.Namespace) -> None:
@@ -207,6 +224,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_repair = sub.add_parser("repair", help="repair-bandwidth measurements")
     add_workers(p_repair)
 
+    p_families = sub.add_parser(
+        "families", help="polygon-local family sweep (2- and 3-group "
+                         "variants, MTTDL with and without UBER)")
+    p_families.add_argument(
+        "--codes", nargs="+", default=None, metavar="NAME",
+        help="registry names to sweep (default: "
+             + ", ".join(families.FAMILY_CODES) + ")")
+    p_families.add_argument("--uber", type=float,
+                            default=families.DEFAULT_UBER,
+                            help="per-block unrecoverable-read "
+                                 "probability (default %(default)g)")
+    p_families.add_argument("--node-count", type=int,
+                            default=families.NODE_COUNT,
+                            help="system size in nodes "
+                                 "(default %(default)s)")
+    add_workers(p_families)
+
     p_ablate = sub.add_parser("ablations", help="design-knob sweeps")
     p_ablate.add_argument("--trials", type=int, default=20)
     add_workers(p_ablate)
@@ -241,6 +275,7 @@ HANDLERS = {
     "fig4": run_fig4,
     "fig5": run_fig5,
     "repair": run_repair,
+    "families": run_families,
     "ablations": run_ablations,
     "all": run_all,
     "worker": run_worker_cmd,

@@ -52,6 +52,13 @@ from .repair import (
     UnrecoverableStripeError,
 )
 
+#: Cap on the surviving-set rank memo.  Exhaustive mask sweeps over
+#: long codes can visit millions of distinct surviving sets; beyond
+#: this many entries fresh verdicts are computed but no longer stored,
+#: so enumeration memory stays bounded while short-code behaviour is
+#: unchanged (a 16-slot sweep has at most 2**16 distinct sets).
+SURVIVOR_MEMO_LIMIT = 1 << 17
+
 
 class Code(ABC):
     """A stripe-structured storage code.
@@ -280,8 +287,40 @@ class Code(ABC):
         if verdict is None:
             matrix = layout.generator_matrix()[np.nonzero(surviving)[0]]
             verdict = matrix_rank(matrix) == self.k
-            self._surviving_verdicts[key] = verdict
+            if len(self._surviving_verdicts) < SURVIVOR_MEMO_LIMIT:
+                self._surviving_verdicts[key] = verdict
         return verdict
+
+    def _survivor_verdicts_many(self, surviving: np.ndarray) -> np.ndarray:
+        """Vectorised rank verdicts for a (patterns, symbol_count) mask.
+
+        The two cheap classifications — all data symbols present, or
+        fewer than ``k`` survivors — are decided in one vectorised pass;
+        only the undecided middle band pays for rank tests, and those
+        are deduplicated with :func:`numpy.unique` before consulting
+        (and feeding) the surviving-set memo.
+        """
+        layout = self.layout
+        verdicts = surviving[:, layout.data_symbol_indices()].all(axis=1)
+        undecided = np.nonzero(
+            ~verdicts & (surviving.sum(axis=1) >= self.k))[0]
+        if len(undecided):
+            unique_rows, inverse = np.unique(
+                surviving[undecided], axis=0, return_inverse=True)
+            memo = self._surviving_verdicts
+            generator = layout.generator_matrix()
+            unique_verdicts = np.empty(len(unique_rows), dtype=bool)
+            for position, row in enumerate(unique_rows):
+                key = row.tobytes()
+                verdict = memo.get(key)
+                if verdict is None:
+                    verdict = matrix_rank(
+                        generator[np.nonzero(row)[0]]) == self.k
+                    if len(memo) < SURVIVOR_MEMO_LIMIT:
+                        memo[key] = verdict
+                unique_verdicts[position] = verdict
+            verdicts[undecided] = unique_verdicts[inverse]
+        return verdicts
 
     def can_decode_from_symbols(self, symbol_indices) -> bool:
         """True when the listed symbols determine all data symbols."""
@@ -337,15 +376,60 @@ class Code(ABC):
                 for mask in unknown:
                     cache[mask] = self._recover_uncached(mask)
             else:
-                mask_array = np.array(unknown, dtype=np.int64)
-                failed_matrix = (
-                    mask_array[:, None] >> np.arange(self.length)[None, :]
-                ) & 1
-                surviving = self.layout.surviving_masks_many(failed_matrix)
-                for row, mask in enumerate(unknown):
-                    cache[mask] = self._decodable_from_survivors(surviving[row])
+                verdicts = self._mask_array_verdicts(
+                    np.array(unknown, dtype=np.int64))
+                for mask, verdict in zip(unknown, verdicts):
+                    cache[mask] = bool(verdict)
         return np.fromiter((cache[m] for m in masks), dtype=bool,
                            count=len(masks))
+
+    def _mask_array_verdicts(self, mask_array: np.ndarray) -> np.ndarray:
+        """Uncached vectorised verdicts for an int64 mask array.
+
+        The one copy of the bit-unpack -> surviving-symbol ->
+        rank-verdict pipeline, shared by :meth:`can_recover_masks` and
+        :meth:`mask_range_verdicts` so the two can never drift apart
+        (their agreement is what makes sharded enumeration
+        bit-identical to the bulk query).
+        """
+        failed_matrix = (
+            mask_array[:, None] >> np.arange(self.length)[None, :]
+        ) & 1
+        surviving = self.layout.surviving_masks_many(failed_matrix)
+        return self._survivor_verdicts_many(surviving)
+
+    def mask_range_verdicts(self, lo: int, hi: int, *,
+                            chunk_masks: int = 1 << 14) -> np.ndarray:
+        """Recoverability verdicts for the contiguous mask range [lo, hi).
+
+        The constant-memory seam under exhaustive enumerations: unlike
+        :meth:`can_recover_masks` it never writes the per-mask memo
+        (an exhaustive 2**L sweep would otherwise pin 2**L dict entries)
+        and it streams the range through fixed-size chunks, so callers
+        — in particular the sharded exact-reliability engine in
+        :mod:`repro.reliability.mask_enum` — can split one enumeration
+        into range work units of bounded footprint.  Closed-form
+        overrides (the heptagon-local code) are honoured per mask.
+        Verdicts are exact, so any shard layout merges bit-identically.
+        """
+        total = 1 << self.length
+        if not 0 <= lo <= hi <= total:
+            raise ValueError(
+                f"{self.name}: mask range [{lo}, {hi}) outside "
+                f"[0, 2**{self.length})")
+        if chunk_masks < 1:
+            raise ValueError("chunk_masks must be positive")
+        out = np.empty(hi - lo, dtype=bool)
+        if (type(self)._recover_uncached is not Code._recover_uncached
+                or self.length > 63):
+            for offset, mask in enumerate(range(lo, hi)):
+                out[offset] = self._recover_uncached(mask)
+            return out
+        for chunk_lo in range(lo, hi, chunk_masks):
+            chunk_hi = min(chunk_lo + chunk_masks, hi)
+            out[chunk_lo - lo:chunk_hi - lo] = self._mask_array_verdicts(
+                np.arange(chunk_lo, chunk_hi, dtype=np.int64))
+        return out
 
     def can_recover_many(self, patterns) -> np.ndarray:
         """Bulk :meth:`can_recover` over an iterable of slot collections."""

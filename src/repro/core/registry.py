@@ -33,8 +33,18 @@ _FACTORIES: dict[str, Callable[[], Code]] = {
 
 _REP_PATTERN = re.compile(r"^(\d+)-rep$")
 _POLYGON_PATTERN = re.compile(r"^polygon-(\d+)$")
-_POLYGON_LOCAL_PATTERN = re.compile(
-    r"^polygon-local-(\d+)(?:\((\d+)g,(\d+)p\))?$")
+#: Polygon-local spellings.  ``polygon-local-N(...)`` is the historical
+#: registry form; ``polygon-N-local(...)`` plus the named bases
+#: ``pentagon-local(...)`` / ``heptagon-local(...)`` are exactly what
+#: ``PolygonLocalCode._default_name`` emits, so ``make_code(code.name)``
+#: round-trips for every constructible member of the family.
+_POLYGON_LOCAL_PATTERNS = (
+    re.compile(r"^polygon-local-(\d+)(?:\((\d+)g,(\d+)p\))?$"),
+    re.compile(r"^polygon-(\d+)-local(?:\((\d+)g,(\d+)p\))?$"),
+)
+_NAMED_POLYGON_LOCAL_PATTERN = re.compile(
+    r"^(pentagon|heptagon)-local(?:\((\d+)g,(\d+)p\))?$")
+_NAMED_POLYGON_SIDES = {"pentagon": 5, "heptagon": 7}
 _RAIDM_PATTERN = re.compile(r"^\((\d+),(\d+)\)\s*RAID\+m$", re.IGNORECASE)
 _RS_PATTERN = re.compile(r"^rs\((\d+),(\d+)\)$", re.IGNORECASE)
 
@@ -57,9 +67,12 @@ def make_code(name: str) -> Code:
     """Instantiate a code from its registry name.
 
     Recognises the fixed names above plus the parametric families
-    ``N-rep``, ``polygon-N``, ``polygon-local-N`` (optionally
-    ``polygon-local-N(Gg,Pp)`` for G groups and P global parities),
-    ``(p,k) RAID+m`` and ``rs(n,k)``.
+    ``N-rep``, ``polygon-N``, the polygon-local family under all three
+    spellings ``polygon-local-N``, ``polygon-N-local`` and
+    ``pentagon-local`` / ``heptagon-local`` (each optionally suffixed
+    ``(Gg,Pp)`` for G groups and P global parities — the suffix a
+    generalized :class:`~repro.core.PolygonLocalCode` emits as its own
+    name), ``(p,k) RAID+m`` and ``rs(n,k)``.
     """
     if name in _FACTORIES:
         return _FACTORIES[name]()
@@ -69,12 +82,19 @@ def make_code(name: str) -> Code:
     match = _POLYGON_PATTERN.match(name)
     if match:
         return PolygonCode(int(match.group(1)))
-    match = _POLYGON_LOCAL_PATTERN.match(name)
+    match = _NAMED_POLYGON_LOCAL_PATTERN.match(name)
     if match:
-        n = int(match.group(1))
+        n = _NAMED_POLYGON_SIDES[match.group(1)]
         groups = int(match.group(2)) if match.group(2) else 2
         parities = int(match.group(3)) if match.group(3) else 2
         return PolygonLocalCode(n, groups=groups, global_parities=parities)
+    for pattern in _POLYGON_LOCAL_PATTERNS:
+        match = pattern.match(name)
+        if match:
+            n = int(match.group(1))
+            groups = int(match.group(2)) if match.group(2) else 2
+            parities = int(match.group(3)) if match.group(3) else 2
+            return PolygonLocalCode(n, groups=groups, global_parities=parities)
     match = _RAIDM_PATTERN.match(name)
     if match:
         total, data = int(match.group(1)), int(match.group(2))

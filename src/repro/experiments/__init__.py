@@ -6,6 +6,9 @@
 * :mod:`repro.experiments.fig5` — Terasort on set-up 2 (4 map slots);
 * :mod:`repro.experiments.repair_bandwidth` — Section 2.1/3.1 repair
   bandwidth, measured on a live MiniHDFS;
+* :mod:`repro.experiments.families` — Table-1-style sweep over 2- and
+  3-group polygon-local variants (MTTDL with/without UBER sector
+  errors), powered by the sharded exact-reliability engine;
 * :mod:`repro.experiments.ablations` — future-work metrics and design
   knob sweeps.
 
@@ -28,6 +31,7 @@ executor runs the units.
 from . import (
     ablations,
     distributed,
+    families,
     fig2,
     fig3,
     fig4,
@@ -63,6 +67,7 @@ __all__ = [
     "resolve_workers",
     "distributed",
     "table1",
+    "families",
     "fig2",
     "fig3",
     "fig4",

@@ -8,6 +8,12 @@ validate the hand-derived state spaces.
 """
 
 from .markov import HOURS_PER_YEAR, MarkovChain, hours_to_years, years_to_hours
+from .mask_enum import (
+    MAX_EXACT_LENGTH,
+    mask_shard_bits,
+    recoverable_mask_table,
+    shard_ranges,
+)
 from .models import (
     DATA_LOSS,
     ReliabilityParams,
@@ -17,8 +23,11 @@ from .models import (
     heptagon_local_chain,
     initial_state,
     polygon_chain,
+    polygon_local_chain,
+    polygon_local_state_table,
     raid_mirror_chain,
     replication_chain,
+    validate_polygon_local_states,
 )
 from .sector_errors import (
     add_sector_errors,
@@ -54,10 +63,17 @@ __all__ = [
     "polygon_chain",
     "raid_mirror_chain",
     "heptagon_local_chain",
+    "polygon_local_chain",
+    "polygon_local_state_table",
+    "validate_polygon_local_states",
     "conservative_chain",
     "brute_force_chain",
     "group_chain",
     "initial_state",
+    "MAX_EXACT_LENGTH",
+    "recoverable_mask_table",
+    "mask_shard_bits",
+    "shard_ranges",
     "GroupModel",
     "group_model",
     "group_count",

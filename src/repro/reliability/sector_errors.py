@@ -32,7 +32,13 @@ from __future__ import annotations
 
 from ..core import make_code
 from .markov import MarkovChain
-from .models import DATA_LOSS, ReliabilityParams, group_chain, initial_state
+from .models import (
+    DATA_LOSS,
+    ReliabilityParams,
+    group_chain,
+    initial_state,
+    polygon_local_state_table,
+)
 
 
 def uber_failure_prob(uber_block_prob: float, blocks_read: int) -> float:
@@ -96,11 +102,52 @@ def add_sector_errors(chain: MarkovChain, uber_block_prob: float,
     return extended
 
 
+def _polygon_local_critical_reads(code) -> int:
+    """Worst-case blocks a critical polygon-local rebuild reads.
+
+    Walks the family's aggregate state table: in a critical state
+    ``(f_1..f_groups, g)`` the in-flight repair reads every surviving
+    data symbol once (``k - U`` where ``U = sum C(f_i, 2)`` symbols are
+    doubly lost), the XOR parity of each group holding doubly-lost
+    symbols, and — while the global node is alive — the global parity
+    rows.  For the paper's heptagon-local code every critical state
+    lands on exactly ``k = 40`` blocks, the value that used to be
+    hard-coded; for other global-parity counts (and hence for honest
+    UBER chains over generalized families) the two differ, so this is
+    computed from the state structure instead of silently returning
+    ``code.k``.
+    """
+    table = polygon_local_state_table(code.n, code.groups,
+                                      code.global_parities)
+    worst = 0
+    for state, recoverable in table.items():
+        if not recoverable:
+            continue
+        *fs, g = state
+        if sum(fs) + g == 0:
+            continue    # all healthy: nothing in flight to mis-read
+        successors = [
+            (*fs[:group], fs[group] + 1, *fs[group + 1:], g)
+            for group in range(code.groups) if fs[group] < code.n
+        ]
+        if g == 0:
+            successors.append((*fs, 1))
+        if all(table[successor] for successor in successors):
+            continue    # not critical: no single failure is fatal
+        doubly_lost = sum(count * (count - 1) // 2 for count in fs)
+        parity_groups = sum(1 for count in fs if count >= 2)
+        reads = (code.k - doubly_lost + parity_groups
+                 + (code.global_parities if g == 0 else 0))
+        worst = max(worst, reads)
+    return worst
+
+
 #: Blocks a critical rebuild reads, per scheme.  Derived from the repair
 #: planners (see ``repro.core.metrics``): replication re-copies a single
 #: block; polygon codes run the two-node partial-parity repair; RAID+m
-#: XORs the k other symbols; heptagon-local solves the triangle through
-#: the global equations (12 copies + local/global partials).
+#: XORs the k other symbols; polygon-local families solve their stranded
+#: symbols through the local XOR and global rows (worst case over the
+#: family's critical states — see ``_polygon_local_critical_reads``).
 def critical_read_blocks(code_name: str) -> int:
     from ..core import (
         PolygonCode,
@@ -117,9 +164,7 @@ def critical_read_blocks(code_name: str) -> int:
     if isinstance(code, RaidMirrorCode):
         return code.data_count
     if isinstance(code, PolygonLocalCode):
-        # Triangle repair: 2(n-3) edge copies into the group plus the
-        # local/global parity equations over all data symbols.
-        return code.k
+        return _polygon_local_critical_reads(code)
     if isinstance(code, ReedSolomonCode):
         return code.data_count
     return code.k

@@ -60,7 +60,7 @@ class TestParser:
 
     def test_every_sweep_subcommand_accepts_distributed(self):
         for command in ("table1", "fig3", "fig4", "fig5", "repair",
-                        "ablations", "all"):
+                        "families", "ablations", "all"):
             args = build_parser().parse_args(
                 [command, "--distributed", "127.0.0.1:0"])
             assert args.distributed == "127.0.0.1:0"

@@ -223,3 +223,42 @@ class TestMetricsInvariants:
         from repro.gf import matrix_rank
         code = make_code(name)
         assert matrix_rank(code.layout.generator_matrix()) == code.k
+
+
+class TestRegistryRoundTrip:
+    """``make_code(code.name)`` must succeed for every constructible name.
+
+    The generalized polygon-local family used to emit names
+    (``pentagon-local(3g,2p)``) the registry could not parse, so codes
+    could not travel by name — which the sharded enumeration cells, the
+    sweep engine and the CLI all rely on."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(3, 9), st.integers(1, 4), st.integers(1, 3))
+    def test_polygon_local_family(self, n, groups, parities):
+        from repro.core import PolygonLocalCode
+        code = PolygonLocalCode(n, groups=groups, global_parities=parities)
+        rebuilt = make_code(code.name)
+        assert isinstance(rebuilt, PolygonLocalCode)
+        assert (rebuilt.n, rebuilt.groups, rebuilt.global_parities) \
+            == (n, groups, parities)
+        assert make_code(rebuilt.name).name == rebuilt.name
+
+    @settings(max_examples=60, deadline=None)
+    @given(code_names, seeds)
+    def test_every_code_zoo_member(self, name, seed):
+        del seed
+        code = make_code(name)
+        rebuilt = make_code(code.name)
+        assert rebuilt.name == code.name
+        assert rebuilt.length == code.length
+        assert rebuilt.k == code.k
+
+    @pytest.mark.parametrize("name", [
+        "pentagon-local(3g,2p)", "heptagon-local(3g,2p)",
+        "polygon-local-5(3g,2p)", "polygon-4-local", "polygon-9-local(4g,3p)",
+        "heptagon-local", "pentagon-local",
+    ])
+    def test_generalized_spellings_parse(self, name):
+        code = make_code(name)
+        assert make_code(code.name).name == code.name

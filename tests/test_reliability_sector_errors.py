@@ -91,6 +91,30 @@ class TestCriticalReadBlocks:
         assert critical_read_blocks("rs(14,10)") == 10
         assert critical_read_blocks("heptagon-local") == 40
 
+    def test_generalized_polygon_local_values(self):
+        """Derived from the aggregate state structure, not blanket k.
+
+        For 2-global-parity members the worst critical repair (one
+        failure triangle) reads k - 3 surviving data blocks plus the
+        group XOR and both global rows — exactly k, matching the
+        pinned heptagon-local value.  Other parity counts differ from
+        k, which the old hard-coded ``code.k`` silently got wrong."""
+        from repro.core import make_code
+        assert critical_read_blocks("pentagon-local") == 18
+        assert critical_read_blocks("pentagon-local(3g,2p)") == 27
+        assert critical_read_blocks("heptagon-local(3g,2p)") == 60
+        three_parity = make_code("polygon-local-5(3g,3p)")
+        assert critical_read_blocks("polygon-local-5(3g,3p)") == 28
+        assert critical_read_blocks("polygon-local-5(3g,3p)") \
+            != three_parity.k
+
+    def test_uber_chain_for_three_group_family(self):
+        """UBER chains must stay honest (and finite) beyond 2 groups."""
+        clean = system_mttdl_years("pentagon-local(3g,2p)", PARAMS)
+        dirty = system_mttdl_years_with_uber(
+            "pentagon-local(3g,2p)", PARAMS, 1e-4)
+        assert 0 < dirty < clean
+
 
 class TestExtendedChains:
     def test_zero_uber_is_identity(self):
