@@ -7,12 +7,19 @@ Usage::
 Produces ``results/BENCH_<YYYY-MM-DD>[_NAME].json`` with encode/decode
 throughput, Monte-Carlo simulation wall time, decodability-engine
 timings, serial-vs-sharded exact-reliability mask enumeration, end-to-end
-sweep wall-clock at 1 vs 4 workers, and a distributed-sweep section
-(coordinator + loopback `repro worker` subprocesses), so the perf
+sweep wall-clock at 1 vs 4 workers, a distributed-sweep section
+(coordinator + loopback `repro worker` subprocesses), and a storage
+service section (`service_s`: sustained read IOPS plus normal and
+degraded read latency percentiles against a live namenode + datanode
+cluster, healthy and under a kill-one-datanode fault plan), so the perf
 trajectory is tracked PR over PR (commit
 the file with the change that moved the numbers; ``--tag`` avoids
 clobbering a same-day baseline).  Timings are medians of several
 repetitions; throughputs are MB/s over the stripe's data payload.
+
+``--sections`` limits the run, e.g. ``--sections service`` writes a
+snapshot with only the storage-service numbers (pair it with
+``--tag service``).
 """
 
 from __future__ import annotations
@@ -55,13 +62,33 @@ def median_seconds(fn, repeats: int = 5) -> float:
     return statistics.median(times)
 
 
-def snapshot() -> dict:
-    rng = np.random.default_rng(0)
+#: Section name -> does the full snapshot include it by default.
+SECTIONS = ("core", "mask_enum", "sweep", "distributed", "service")
+
+
+def snapshot(sections: tuple[str, ...] = SECTIONS) -> dict:
     record: dict = {
         "date": datetime.date.today().isoformat(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "block_bytes": BLOCK_BYTES,
+    }
+    if "core" in sections:
+        record.update(core_benchmark())
+    if "mask_enum" in sections:
+        record["mask_enum_s"] = mask_enum_benchmark()
+    if "sweep" in sections:
+        record["sweep_s"] = sweep_benchmark()
+    if "distributed" in sections:
+        record["distributed_s"] = distributed_benchmark()
+    if "service" in sections:
+        record["service_s"] = service_benchmark()
+    return record
+
+
+def core_benchmark() -> dict:
+    rng = np.random.default_rng(0)
+    record: dict = {
         "encode_mb_s": {},
         "decode_mb_s": {},
         "simulate_group_mttd_s": {},
@@ -93,9 +120,6 @@ def snapshot() -> dict:
         seconds = median_seconds(
             lambda: make_code(name).fault_tolerance, repeats=3)
         record["fault_tolerance_s"][name] = round(seconds, 4)
-    record["mask_enum_s"] = mask_enum_benchmark()
-    record["sweep_s"] = sweep_benchmark()
-    record["distributed_s"] = distributed_benchmark()
     return record
 
 
@@ -281,13 +305,61 @@ def distributed_benchmark(workers: int = 2, repeats: int = 3) -> dict:
     return out
 
 
+def service_benchmark(datanodes: int = 6, duration: float = 5.0,
+                      seed: int = 0) -> dict:
+    """Storage-service read throughput, healthy and under a kill fault.
+
+    Spins up a loopback cluster (in-process namenode + ``datanodes``
+    daemon subprocesses), prefils a seeded working set under the
+    pentagon code, and runs two ``repro load`` passes: a *healthy*
+    baseline and a run with a seeded kill-one-datanode
+    :class:`~repro.service.FaultPlan` firing mid-load.  Each pass
+    records sustained read IOPS and latency percentiles split into
+    normal and degraded (reconstruction) buckets, plus the faulted
+    pass's repair tally and settle time — the service-level twin of the
+    paper's degraded-read and repair-bandwidth story.  Reads are
+    bit-verified; ``failed``/``mismatched`` should be 0.
+    """
+    from repro.service import ServiceCluster, parse_fault_plan, run_load
+
+    def read_stats(report: dict) -> dict:
+        reads = report["reads"]
+        return {key: reads[key]
+                for key in ("ops", "failed", "mismatched", "iops",
+                            "latency_ms", "degraded_latency_ms")}
+
+    out: dict = {"datanodes": datanodes, "code": "pentagon",
+                 "duration_s": duration}
+    with ServiceCluster(datanodes, seed=seed) as cluster:
+        healthy = run_load(cluster.address, files=3,
+                           file_bytes=4 * 65536, code_name="pentagon",
+                           duration=duration, workers=2, seed=seed)
+        out["healthy"] = read_stats(healthy)
+    with ServiceCluster(datanodes, seed=seed) as cluster:
+        plan = parse_fault_plan(f"kill:random@t={duration / 3:.2f}",
+                                seed=seed)
+        wounded = run_load(cluster.address, files=3,
+                           file_bytes=4 * 65536, code_name="pentagon",
+                           duration=duration, workers=2, seed=seed,
+                           fault_plan=plan)
+        out["kill_one_datanode"] = {
+            **read_stats(wounded),
+            "faults": wounded["config"]["faults"],
+            "repair": wounded["repair"],
+        }
+    return out
+
+
 def main(argv: list[str] | None = None) -> pathlib.Path:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tag", default="",
                         help="suffix for the output file name")
+    parser.add_argument("--sections", nargs="+", choices=SECTIONS,
+                        default=list(SECTIONS),
+                        help="which snapshot sections to run")
     args = parser.parse_args(argv)
     RESULTS_DIR.mkdir(exist_ok=True)
-    record = snapshot()
+    record = snapshot(tuple(args.sections))
     suffix = f"_{args.tag}" if args.tag else ""
     path = RESULTS_DIR / f"BENCH_{record['date']}{suffix}.json"
     path.write_text(json.dumps(record, indent=2) + "\n")

@@ -39,6 +39,22 @@ When one host is saturated, the same sweeps fan out across machines::
 until at least one ``repro worker`` connects; workers may join or die
 at any point mid-sweep and the results are still bit-identical to a
 serial run (see :mod:`repro.experiments.distributed`).
+
+Storage service
+---------------
+
+The paper's codes can also be *served* by a long-lived daemon cluster
+(:mod:`repro.service`)::
+
+    # namenode + 6 datanode subprocesses on loopback (Ctrl-C stops)
+    python -m repro serve --datanodes 6
+
+    # read-load a cluster under a seeded fault plan; --strict makes a
+    # failed/mismatched read or an undrained repair queue a nonzero exit
+    python -m repro load --spin-up 6 --faults "kill:random@t=1" --strict
+
+    # one extra datanode joining an already-running namenode
+    python -m repro datanode --node-id 6 --namenode 127.0.0.1:7007
 """
 
 from __future__ import annotations
@@ -155,6 +171,86 @@ def run_ablations(args: argparse.Namespace) -> None:
               f"decode {stats['decode_mb_s']:8.0f} MB/s")
 
 
+def run_serve(args: argparse.Namespace) -> None:
+    from .service import ServiceCluster
+
+    with ServiceCluster(args.datanodes, block_bytes=args.block_bytes,
+                        seed=args.seed,
+                        silence_timeout=args.silence_timeout,
+                        check_period=args.check_period) as cluster:
+        host, port = cluster.address
+        print(f"[serve] namenode on {host}:{port} with "
+              f"{args.datanodes} datanode(s), checker every "
+              f"{args.check_period:g}s", flush=True)
+        print(f"[serve] drive it with: python -m repro load {host}:{port}",
+              flush=True)
+        try:
+            while not cluster.namenode._closed.wait(0.5):
+                pass
+            print("[serve] shutdown requested", flush=True)
+        except KeyboardInterrupt:
+            print("[serve] interrupted, shutting down", flush=True)
+
+
+def run_datanode_cmd(args: argparse.Namespace) -> None:
+    from .service import run_datanode
+
+    host, port = parse_hostport(args.namenode)
+    run_datanode(
+        args.node_id, (host, port), host=args.host, port=args.port,
+        heartbeat_interval=args.heartbeat_interval,
+        fault_seed=args.fault_seed, connect_retries=args.connect_retries,
+        log=lambda message: print(f"[datanode] {message}", flush=True))
+
+
+def run_load_cmd(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from .service import ServiceCluster, parse_fault_plan, run_load
+
+    plan = (parse_fault_plan(args.faults, seed=args.seed)
+            if args.faults else None)
+    emit = (lambda message: print(f"[load] {message}", flush=True))
+    kwargs = dict(files=args.files, file_bytes=args.file_bytes,
+                  code_name=args.code, duration=args.duration,
+                  workers=args.load_workers, seed=args.seed,
+                  fault_plan=plan, settle_timeout=args.settle_timeout,
+                  log=emit)
+    if args.spin_up:
+        with ServiceCluster(args.spin_up, seed=args.seed,
+                            block_bytes=args.block_bytes) as cluster:
+            result = run_load(cluster.address, **kwargs)
+    else:
+        if not args.address:
+            print("error: give a namenode HOST:PORT or --spin-up N",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        result = run_load(parse_hostport(args.address), **kwargs)
+    reads = result["reads"]
+    repair = result["repair"]
+    print(f"[load] {reads['ops']} reads @ {reads['iops']} IOPS | "
+          f"failed {reads['failed']} mismatched {reads['mismatched']} | "
+          f"repairs {repair['done']} "
+          f"({'settled' if repair['settled'] else 'NOT settled'})",
+          flush=True)
+    for bucket in ("latency_ms", "degraded_latency_ms"):
+        stats = reads[bucket]
+        if stats:
+            print(f"[load] {bucket.replace('_', ' ')[:-3]}: "
+                  f"p50 {stats['p50']} p90 {stats['p90']} "
+                  f"p99 {stats['p99']} (n={stats['n']})", flush=True)
+    if args.json:
+        Path(args.json).write_text(json.dumps(result, indent=2,
+                                              sort_keys=True) + "\n")
+        print(f"[load] wrote {args.json}", flush=True)
+    if args.strict and (reads["failed"] or reads["mismatched"]
+                        or not repair["settled"] or repair["lost"]):
+        print("[load] STRICT: failures above — exiting nonzero",
+              file=sys.stderr, flush=True)
+        raise SystemExit(1)
+
+
 def run_worker_cmd(args: argparse.Namespace) -> None:
     host, port = parse_hostport(args.address)
     try:
@@ -252,6 +348,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--mc-trials", type=int, default=0)
     add_workers(p_all)
 
+    p_serve = sub.add_parser(
+        "serve", help="run a storage service (namenode + datanode "
+                      "subprocesses) until interrupted")
+    p_serve.add_argument("--datanodes", type=int, default=6, metavar="N",
+                         help="datanode subprocesses (default %(default)s)")
+    p_serve.add_argument("--block-bytes", type=int, default=65536)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--silence-timeout", type=float, default=5.0,
+                         help="heartbeat silence before a datanode is "
+                              "declared dead (default %(default)ss)")
+    p_serve.add_argument("--check-period", type=float, default=2.0,
+                         help="checker/repairer sweep period "
+                              "(default %(default)ss)")
+
+    p_dn = sub.add_parser(
+        "datanode", help="run one storage datanode daemon")
+    p_dn.add_argument("--node-id", type=int, required=True)
+    p_dn.add_argument("--namenode", type=_hostport, required=True,
+                      metavar="HOST:PORT")
+    p_dn.add_argument("--host", default="127.0.0.1")
+    p_dn.add_argument("--port", type=int, default=0)
+    p_dn.add_argument("--heartbeat-interval", type=float, default=1.0)
+    p_dn.add_argument("--fault-seed", type=int, default=0)
+    p_dn.add_argument("--connect-retries", type=int, default=60,
+                      help="namenode reconnect budget before the daemon "
+                           "gives up (default %(default)s)")
+
+    p_load = sub.add_parser(
+        "load", help="drive a storage service: prefill, optional fault "
+                     "plan, sustained reads, repair settle")
+    p_load.add_argument("address", nargs="?", default=None,
+                        type=_hostport, metavar="HOST:PORT",
+                        help="namenode address (omit with --spin-up)")
+    p_load.add_argument("--spin-up", type=int, default=0, metavar="N",
+                        help="spin up a fresh N-datanode cluster for the "
+                             "run instead of targeting a running one")
+    p_load.add_argument("--files", type=int, default=4)
+    p_load.add_argument("--file-bytes", type=int, default=4 * 65536)
+    p_load.add_argument("--block-bytes", type=int, default=65536,
+                        help="block size for --spin-up clusters")
+    p_load.add_argument("--code", default="pentagon")
+    p_load.add_argument("--duration", type=float, default=5.0,
+                        help="read-load duration in seconds")
+    p_load.add_argument("--load-workers", type=int, default=2,
+                        help="reader threads (default %(default)s)")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--faults", default=None, metavar="PLAN",
+                        help="fault plan, e.g. 'kill:random@t=1;"
+                             "slow:dn0@k=5,delay=0.1' (seeded by --seed)")
+    p_load.add_argument("--settle-timeout", type=float, default=60.0,
+                        help="max wait for the repair queue to drain")
+    p_load.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the full report as JSON")
+    p_load.add_argument("--strict", action="store_true",
+                        help="exit nonzero on any failed/mismatched read, "
+                             "lost stripe, or undrained repair queue")
+
     p_worker = sub.add_parser(
         "worker", help="serve sweep units to a distributed coordinator")
     p_worker.add_argument(
@@ -279,6 +432,9 @@ HANDLERS = {
     "ablations": run_ablations,
     "all": run_all,
     "worker": run_worker_cmd,
+    "serve": run_serve,
+    "datanode": run_datanode_cmd,
+    "load": run_load_cmd,
 }
 
 

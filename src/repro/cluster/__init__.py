@@ -7,7 +7,12 @@ live DataNodes, and charges every transfer to a network ledger so the
 Section 2.1/3.1 bandwidth numbers can be measured rather than asserted.
 """
 
-from .datanode import BlockNotFoundError, DataNode
+from .datanode import (
+    BlockNotFoundError,
+    CorruptBlockError,
+    DataNode,
+    block_checksum,
+)
 from .failure import FailureEvent, FailureInjector, FailureKind
 from .filesystem import MiniHDFS
 from .namenode import BlockId, FileInfo, NameNode, StripeInfo
@@ -37,6 +42,8 @@ __all__ = [
     "StripeInfo",
     "DataNode",
     "BlockNotFoundError",
+    "CorruptBlockError",
+    "block_checksum",
     "PlacementPolicy",
     "RandomSpreadPlacement",
     "RoundRobinPlacement",

@@ -4,9 +4,20 @@ Stores actual block bytes in memory keyed by
 :class:`~repro.cluster.namenode.BlockId`, so every repair plan and
 degraded read in the examples and integration tests moves real data
 that can be checked bit-for-bit.
+
+Every ``put`` records a CRC-32 of the stored bytes; verified reads
+(:meth:`DataNode.get` with ``verify=True`` — the default on every
+cluster read path) recompute it and raise a typed
+:class:`CorruptBlockError` on mismatch instead of silently serving
+rot.  The storage-service checker loop and the degraded-read fallback
+both key off that exception.  :meth:`DataNode.corrupt` is the matching
+fault hook: it flips stored bytes *without* touching the recorded
+checksum, exactly what a latent sector error looks like from above.
 """
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 
@@ -18,34 +29,96 @@ class BlockNotFoundError(KeyError):
     """Raised when a node is asked for a block it does not hold."""
 
 
+class CorruptBlockError(RuntimeError):
+    """A block's bytes no longer match its write-time checksum."""
+
+    def __init__(self, node_id: int, block: BlockId):
+        super().__init__(f"node {node_id}: block {block} failed its "
+                         "checksum (stored bytes are corrupt)")
+        self.node_id = node_id
+        self.block = block
+
+
+def block_checksum(data) -> int:
+    """CRC-32 of a block's bytes (the write-time integrity stamp)."""
+    return zlib.crc32(np.ascontiguousarray(GF256.asarray(data)).tobytes())
+
+
 class DataNode:
     """In-memory block store of one storage node."""
 
     def __init__(self, node_id: int):
         self.node_id = node_id
         self._blocks: dict[BlockId, np.ndarray] = {}
+        self._checksums: dict[BlockId, int] = {}
 
-    def put(self, block: BlockId, data) -> None:
-        self._blocks[block] = GF256.asarray(data).copy()
+    def put(self, block: BlockId, data) -> int:
+        """Store a block; returns the recorded CRC-32."""
+        stored = GF256.asarray(data).copy()
+        self._blocks[block] = stored
+        crc = block_checksum(stored)
+        self._checksums[block] = crc
+        return crc
 
-    def get(self, block: BlockId) -> np.ndarray:
+    def get(self, block: BlockId, verify: bool = True) -> np.ndarray:
         try:
-            return self._blocks[block]
+            data = self._blocks[block]
         except KeyError:
             raise BlockNotFoundError(
                 f"node {self.node_id} does not hold {block}"
             ) from None
+        if verify and block_checksum(data) != self._checksums[block]:
+            raise CorruptBlockError(self.node_id, block)
+        return data
+
+    def checksum(self, block: BlockId) -> int:
+        """The CRC-32 recorded when the block was written."""
+        try:
+            return self._checksums[block]
+        except KeyError:
+            raise BlockNotFoundError(
+                f"node {self.node_id} does not hold {block}"
+            ) from None
+
+    def current_checksum(self, block: BlockId) -> int:
+        """CRC-32 of the bytes as they are *now* (what a scrub sees)."""
+        if block not in self._blocks:
+            raise BlockNotFoundError(
+                f"node {self.node_id} does not hold {block}"
+            ) from None
+        return block_checksum(self._blocks[block])
+
+    def corrupt(self, block: BlockId, offset: int = 0) -> None:
+        """Fault injection: flip one stored byte, keep the checksum.
+
+        The next verified read of the block raises
+        :class:`CorruptBlockError`, and a checksum scrub sees the
+        mismatch — exactly the silent-corruption scenario the checker
+        loop exists for.
+        """
+        if block not in self._blocks:
+            raise BlockNotFoundError(
+                f"node {self.node_id} does not hold {block}"
+            ) from None
+        data = self._blocks[block]
+        if not len(data):
+            return
+        writable = data.copy()
+        writable[offset % len(writable)] ^= 0xFF
+        self._blocks[block] = writable
 
     def has(self, block: BlockId) -> bool:
         return block in self._blocks
 
     def drop(self, block: BlockId) -> None:
         self._blocks.pop(block, None)
+        self._checksums.pop(block, None)
 
     def wipe(self) -> int:
         """Erase all blocks (a permanent node loss); returns count erased."""
         count = len(self._blocks)
         self._blocks.clear()
+        self._checksums.clear()
         return count
 
     def block_ids(self) -> list[BlockId]:

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..core import Code, SymbolKind, UnrecoverableStripeError, make_code
 from ..gf import GF256
-from .datanode import DataNode
+from .datanode import CorruptBlockError, DataNode
 from .namenode import BlockId, FileInfo, NameNode, StripeInfo
 from .network import NetworkLedger
 from .placement import PlacementPolicy, RandomSpreadPlacement
@@ -125,15 +125,31 @@ class MiniHDFS:
 
     def _read_symbol(self, stripe: StripeInfo, symbol_index: int,
                      reader_node: int | None) -> np.ndarray:
+        """Read one symbol, degrading past failed *and corrupt* replicas.
+
+        Every block fetched on the way is checksum-verified by the
+        DataNode; a :class:`CorruptBlockError` promotes the offending
+        slot to failed and the read re-plans against the survivors, so
+        silent corruption turns into a degraded read instead of served
+        garbage.  Only a pattern the code cannot decode raises.
+        """
         failed = set(self.topology.failed_nodes())
-        failed_slots = stripe.failed_slots(failed)
+        failed_slots = set(stripe.failed_slots(failed))
         reader_slot = (stripe.slot_of_node(reader_node)
                        if reader_node is not None else None)
-        plan = stripe.code.plan_degraded_read(
-            symbol_index, failed_slots, reader_slot=reader_slot)
-        purpose = "degraded-read" if plan.degraded else "read"
-        return run_read_plan(stripe, plan, self.datanodes, self.topology,
-                             self.ledger, reader_node, purpose=purpose)
+        while True:
+            plan = stripe.code.plan_degraded_read(
+                symbol_index, failed_slots, reader_slot=reader_slot)
+            purpose = "degraded-read" if plan.degraded else "read"
+            try:
+                return run_read_plan(stripe, plan, self.datanodes,
+                                     self.topology, self.ledger,
+                                     reader_node, purpose=purpose)
+            except CorruptBlockError as error:
+                slot = stripe.slot_of_node(error.node_id)
+                if slot is None or slot in failed_slots:
+                    raise
+                failed_slots.add(slot)
 
     # ------------------------------------------------------------------
     # Failure handling

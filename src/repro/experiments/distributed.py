@@ -62,18 +62,29 @@ Trust model: frames are unauthenticated pickle, so expose a
 coordinator only to hosts you would let run arbitrary code (the same
 trust a multiprocessing pool places in its forked workers).  Bind to
 loopback or a private cluster network.
+
+The frame protocol itself lives in :mod:`repro.net` (shared with the
+storage-service daemons); ``send_frame``/``recv_frame``/
+``ProtocolError``/``parse_hostport`` are re-exported here for
+compatibility.
 """
 
 from __future__ import annotations
 
 import os
-import pickle
 import socket
-import struct
 import threading
 import time
 from collections import deque
 
+from ..net import (       # noqa: F401  (re-exported protocol surface)
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    backoff_delay,
+    parse_hostport,
+    recv_frame,
+    send_frame,
+)
 from .engine import CellExecutionError, Executor, _run_unit
 
 #: Bumped on any incompatible frame/message change; both ends check it
@@ -88,64 +99,11 @@ HEARTBEAT_INTERVAL = 2.0
 #: hold a unit hostage, not how long a unit may take.
 HEARTBEAT_TIMEOUT = 30.0
 
-#: Frame length prefix: 4-byte big-endian payload size.
-_HEADER = struct.Struct(">I")
-
-#: Sanity cap on a single frame — a corrupt or hostile length prefix
-#: should fail loudly, not allocate gigabytes.
-MAX_FRAME_BYTES = 1 << 30
-
-
-class ProtocolError(RuntimeError):
-    """The peer sent something outside the framed protocol."""
-
-
-def _recv_exact(sock: socket.socket, count: int) -> bytes:
-    chunks = bytearray()
-    while len(chunks) < count:
-        chunk = sock.recv(count - len(chunks))
-        if not chunk:
-            raise ConnectionError("peer closed the connection mid-frame")
-        chunks.extend(chunk)
-    return bytes(chunks)
-
-
-def send_frame(sock: socket.socket, message: tuple) -> None:
-    """Send one ``(kind, data)`` message as a length-prefixed frame."""
-    data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    if len(data) > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame of {len(data)} bytes exceeds the "
-            f"{MAX_FRAME_BYTES}-byte cap")
-    sock.sendall(_HEADER.pack(len(data)) + data)
-
-
-def recv_frame(sock: socket.socket) -> tuple:
-    """Receive one ``(kind, data)`` message (blocking, honours timeouts)."""
-    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame announces {length} bytes, over the "
-            f"{MAX_FRAME_BYTES}-byte cap")
-    message = pickle.loads(_recv_exact(sock, length))
-    if not (isinstance(message, tuple) and len(message) == 2):
-        raise ProtocolError("frame did not decode to a (kind, data) pair")
-    return message
-
-
-def parse_hostport(text: str) -> tuple[str, int]:
-    """Parse ``HOST:PORT`` (as taken by ``--distributed`` and ``worker``)."""
-    host, sep, port_text = text.rpartition(":")
-    if not sep or not host:
-        raise ValueError(f"{text!r} is not a HOST:PORT address")
-    try:
-        port = int(port_text)
-    except ValueError:
-        raise ValueError(f"{text!r}: port {port_text!r} is not an integer"
-                         ) from None
-    if not 0 <= port <= 65535:
-        raise ValueError(f"{text!r}: port must be in 0..65535")
-    return host, port
+#: Cap on the worker's exponential reconnect backoff: a retry budget
+#: of N covers a coordinator up to roughly ``N * cap`` seconds late
+#: instead of ``N * delay``, without hammering a host that is still
+#: booting.
+RECONNECT_MAX_DELAY = 5.0
 
 
 class DistributedExecutor(Executor):
@@ -440,42 +398,47 @@ def run_worker(host: str, port: int, *,
                heartbeat_interval: float = HEARTBEAT_INTERVAL,
                reconnect_attempts: int = 0,
                reconnect_delay: float = 1.0,
+               reconnect_max_delay: float = RECONNECT_MAX_DELAY,
                log=None) -> int:
     """Serve sweep units until the coordinator shuts down.
 
     Returns the number of units served.  ``reconnect_attempts`` retries
-    a refused or lost connection (``reconnect_delay`` seconds apart),
-    which lets worker processes start *before* their coordinator — the
-    CI smoke job and ``perf_snapshot`` both lean on this.  The budget
-    resets every time a connection succeeds, so a long-lived worker can
-    survive any number of coordinator restarts.
+    a refused or lost connection with capped exponential backoff
+    (``reconnect_delay`` doubling per consecutive failure up to
+    ``reconnect_max_delay``), which lets worker processes start *before*
+    their coordinator — the CI smoke job and ``perf_snapshot`` both
+    lean on this.  A refused connect returns instantly, so without the
+    backoff a retry budget of N was burned in roughly N seconds; with
+    it the same budget rides out a coordinator that is minutes late.
+    The budget (and the backoff) resets every time a connection
+    succeeds, so a long-lived worker survives any number of
+    coordinator restarts.
     """
     emit = log if log is not None else (lambda message: None)
     attempts = 0
     tally = [0]
+
+    def wait_or_raise(what: str, exc: Exception) -> None:
+        nonlocal attempts
+        attempts += 1
+        if attempts > reconnect_attempts:
+            raise exc
+        delay = backoff_delay(attempts, reconnect_delay, reconnect_max_delay)
+        emit(f"{what} {host}:{port} "
+             f"({type(exc).__name__}: {exc}); "
+             f"retry {attempts}/{reconnect_attempts} "
+             f"in {delay:.1f}s")
+        time.sleep(delay)
+
     while True:
         try:
             sock = socket.create_connection((host, port))
         except OSError as exc:
-            attempts += 1
-            if attempts > reconnect_attempts:
-                raise
-            emit(f"connection to {host}:{port} failed "
-                 f"({type(exc).__name__}: {exc}); "
-                 f"retry {attempts}/{reconnect_attempts} "
-                 f"in {reconnect_delay:.0f}s")
-            time.sleep(reconnect_delay)
+            wait_or_raise("connection failed to", exc)
             continue
         attempts = 0
         try:
             return _serve_connection(sock, host, port, heartbeat_interval,
                                      emit, tally)
         except (ConnectionError, OSError) as exc:
-            attempts += 1
-            if attempts > reconnect_attempts:
-                raise
-            emit(f"lost coordinator {host}:{port} "
-                 f"({type(exc).__name__}: {exc}); "
-                 f"retry {attempts}/{reconnect_attempts} "
-                 f"in {reconnect_delay:.0f}s")
-            time.sleep(reconnect_delay)
+            wait_or_raise("lost coordinator", exc)

@@ -1,0 +1,98 @@
+"""Length-prefixed frame protocol shared by every socket peer.
+
+One wire format serves the whole repo: the distributed sweep executor
+(:mod:`repro.experiments.distributed`), and the storage service daemons
+(:mod:`repro.service`).  Every message is a 4-byte big-endian payload
+length followed by the pickled ``(kind, data)`` tuple.  Truncated,
+oversized or misshapen frames raise :class:`ProtocolError` (or
+``ConnectionError`` for a mid-frame EOF) instead of hanging or
+allocating unbounded memory.
+
+Trust model: frames are unauthenticated pickle, so expose a listening
+socket only to hosts you would let run arbitrary code (the same trust a
+multiprocessing pool places in its forked workers).  Bind to loopback
+or a private cluster network; TLS/token auth is a ROADMAP follow-up.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+#: Frame length prefix: 4-byte big-endian payload size.
+_HEADER = struct.Struct(">I")
+
+#: Sanity cap on a single frame — a corrupt or hostile length prefix
+#: should fail loudly, not allocate gigabytes.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent something outside the framed protocol."""
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def send_frame(sock: socket.socket, message: tuple) -> None:
+    """Send one ``(kind, data)`` message as a length-prefixed frame."""
+    data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap")
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> tuple:
+    """Receive one ``(kind, data)`` message (blocking, honours timeouts)."""
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame announces {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte cap")
+    message = pickle.loads(_recv_exact(sock, length))
+    if not (isinstance(message, tuple) and len(message) == 2):
+        raise ProtocolError("frame did not decode to a (kind, data) pair")
+    return message
+
+
+def parse_hostport(text: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (as taken by ``--distributed``, ``worker``,
+    ``serve``, ``datanode`` and ``load``)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"{text!r} is not a HOST:PORT address")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"{text!r}: port {port_text!r} is not an integer"
+                         ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"{text!r}: port must be in 0..65535")
+    return host, port
+
+
+def backoff_delay(attempt: int, base: float, cap: float,
+                  jitter: float = 0.0, rng=None) -> float:
+    """Capped exponential backoff delay for retry ``attempt`` (1-based).
+
+    ``base * 2**(attempt-1)``, capped at ``cap``; with ``jitter`` > 0
+    and an ``rng`` (``random.random``-style callable or numpy
+    Generator), the delay is stretched by up to ``jitter`` of itself so
+    synchronized clients fan out instead of retrying in lockstep.
+    """
+    if attempt < 1:
+        raise ValueError("attempt numbers start at 1")
+    delay = min(cap, base * (2.0 ** (attempt - 1)))
+    if jitter and rng is not None:
+        delay *= 1.0 + jitter * float(rng.random())
+    return delay

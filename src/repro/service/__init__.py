@@ -1,0 +1,46 @@
+"""The long-lived storage service: real daemons over real sockets.
+
+The in-memory :mod:`repro.cluster` simulator made the paper's numbers
+cheap to check; this package makes its *operational* story checkable —
+namenode + datanode processes speaking the :mod:`repro.net` framing, a
+client whose reads degrade transparently past dead or corrupt
+datanodes, deterministic fault injection, and a background checker
+that detects and repairs damage through the same
+:meth:`~repro.core.code.Code.plan_node_repair` plans the bandwidth
+tables are built on.
+"""
+
+from .client import RetryPolicy, StorageClient
+from .cluster import ServiceCluster
+from .datanode import DataNodeServer, run_datanode
+from .faults import Fault, FaultPlan, parse_fault, parse_fault_plan
+from .load import run_load
+from .namenode import NameNodeServer
+from .protocol import (
+    SERVICE_VERSION,
+    ReadFailedError,
+    ServiceError,
+    ServiceUnavailableError,
+    WriteFailedError,
+    WriteRefusedError,
+)
+
+__all__ = [
+    "SERVICE_VERSION",
+    "DataNodeServer",
+    "Fault",
+    "FaultPlan",
+    "NameNodeServer",
+    "ReadFailedError",
+    "RetryPolicy",
+    "ServiceCluster",
+    "ServiceError",
+    "ServiceUnavailableError",
+    "StorageClient",
+    "WriteFailedError",
+    "WriteRefusedError",
+    "parse_fault",
+    "parse_fault_plan",
+    "run_datanode",
+    "run_load",
+]

@@ -1,0 +1,479 @@
+"""The storage client: coded writes, reads that degrade transparently.
+
+:class:`StorageClient` talks to one namenode and whatever datanodes
+the metadata points at.  The data path is client-side, as in HDFS: the
+client encodes stripes locally, pushes blocks straight to datanodes,
+and decodes around failures on read — the namenode only ever moves
+metadata.
+
+Failure handling
+----------------
+Every RPC runs under a :class:`RetryPolicy`: per-attempt socket
+timeout, capped exponential backoff with seeded jitter between
+attempts, and a typed :class:`~.protocol.ServiceUnavailableError` once
+the budget is spent.  A datanode that exhausts its budget is marked
+*suspect* for a short TTL, so later reads plan around it immediately
+instead of re-paying the timeout; suspects expire because a repair (or
+a revived daemon) can make the node useful again.
+
+Reads ask the code for a :class:`~repro.core.repair.ReadPlan` against
+the currently-failed slots and execute it over ``get``/``combine``
+RPCs; any fetch that fails (dead daemon, corrupt block) promotes its
+slot to failed and the read re-plans against the survivors, falling
+back from replica copy to partial-parity reconstruction exactly as the
+paper's degraded-read path prescribes.  Corrupt blocks are also
+reported to the namenode so the checker repairs them ahead of its next
+scrub.
+
+Writes are two-phase: ``begin-write`` reserves the name, the client
+places/encodes/stores every stripe (re-placing a stripe on fresh nodes
+when a datanode dies mid-write), and ``commit-write`` publishes the
+whole file atomically — a failed write leaves no partial stripes
+visible, only orphaned blocks that are best-effort deleted.
+
+One client is **not** thread-safe; give each worker thread its own
+(they are cheap — sockets are opened lazily and pooled per node).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import numpy as np
+
+from ..cluster.datanode import BlockNotFoundError, CorruptBlockError
+from ..cluster.namenode import BlockId
+from ..core import Code, SymbolKind, UnrecoverableStripeError, make_code
+from ..core.repair import TransferKind
+from ..net import backoff_delay
+from .datanode import call
+from .protocol import (
+    ReadFailedError,
+    ServiceUnavailableError,
+    WriteFailedError,
+    block_tuple,
+)
+from .transfer import execute_read_plan
+
+#: How long an unreachable datanode stays on the suspect list before a
+#: read is willing to try it again.
+SUSPECT_TTL = 5.0
+
+#: Placement re-attempts per stripe before a write gives up (each
+#: attempt excludes the nodes that failed the previous one).
+PLACE_ATTEMPTS = 4
+
+
+class RetryPolicy:
+    """Timeout + capped exponential backoff + seeded jitter, per RPC."""
+
+    def __init__(self, *, attempts: int = 3, timeout: float = 2.0,
+                 base_delay: float = 0.05, max_delay: float = 1.0,
+                 jitter: float = 0.25, seed: int = 0):
+        if attempts < 1:
+            raise ValueError("a retry policy needs at least one attempt")
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.attempts = attempts
+        self.timeout = timeout
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._rng = np.random.default_rng(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based, capped, jittered)."""
+        return backoff_delay(attempt, self.base_delay, self.max_delay,
+                             jitter=self.jitter, rng=self._rng)
+
+
+class _SlotFailure(Exception):
+    """Internal: a plan fetch failed; promote this slot and re-plan."""
+
+    def __init__(self, slot: int):
+        super().__init__(f"slot {slot} failed")
+        self.slot = slot
+
+
+class StorageClient:
+    """Client handle on one storage service (not thread-safe)."""
+
+    def __init__(self, namenode: tuple[str, int], *,
+                 retry: RetryPolicy | None = None,
+                 suspect_ttl: float = SUSPECT_TTL):
+        self.namenode_address = (str(namenode[0]), int(namenode[1]))
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.suspect_ttl = suspect_ttl
+        self._nn_sock: socket.socket | None = None
+        self._dn_socks: dict[int, socket.socket] = {}
+        self._datanodes: dict[int, tuple[str, int]] = {}
+        self._suspects: dict[int, float] = {}       # node_id -> expiry
+        self._codes: dict[str, Code] = {}
+        self.counters = {"reads": 0, "degraded_reads": 0, "writes": 0,
+                         "retries": 0, "replans": 0, "corrupt_reports": 0}
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for sock in [self._nn_sock, *self._dn_socks.values()]:
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._nn_sock = None
+        self._dn_socks.clear()
+
+    def __enter__(self) -> "StorageClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Transport with retry
+    # ------------------------------------------------------------------
+    def _connect(self, address: tuple[str, int]) -> socket.socket:
+        sock = socket.create_connection(address, timeout=self.retry.timeout)
+        sock.settimeout(self.retry.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _nn_call(self, kind: str, data) -> object:
+        last: Exception | None = None
+        for attempt in range(1, self.retry.attempts + 1):
+            try:
+                if self._nn_sock is None:
+                    self._nn_sock = self._connect(self.namenode_address)
+                return call(self._nn_sock, kind, data)
+            except (ConnectionError, OSError, EOFError) as exc:
+                if getattr(exc, "code", None) is not None:
+                    raise          # remote typed error, not transport
+                last = exc
+                if self._nn_sock is not None:
+                    self._nn_sock.close()
+                    self._nn_sock = None
+                if attempt < self.retry.attempts:
+                    self.counters["retries"] += 1
+                    time.sleep(self.retry.delay(attempt))
+        raise ServiceUnavailableError(
+            f"namenode {self.namenode_address} unreachable after "
+            f"{self.retry.attempts} attempts: {last}") from last
+
+    def _dn_call(self, node_id: int, kind: str, data) -> object:
+        address = self._datanodes.get(node_id)
+        if address is None:
+            self._refresh_locations()
+            address = self._datanodes.get(node_id)
+            if address is None:
+                raise ServiceUnavailableError(
+                    f"datanode {node_id} is not registered")
+        last: Exception | None = None
+        for attempt in range(1, self.retry.attempts + 1):
+            try:
+                sock = self._dn_socks.get(node_id)
+                if sock is None:
+                    sock = self._dn_socks[node_id] = self._connect(address)
+                return call(sock, kind, data)
+            except (ConnectionError, OSError, EOFError) as exc:
+                if getattr(exc, "code", None) is not None:
+                    raise          # remote typed error, not transport
+                last = exc
+                sock = self._dn_socks.pop(node_id, None)
+                if sock is not None:
+                    sock.close()
+                if attempt < self.retry.attempts:
+                    self.counters["retries"] += 1
+                    time.sleep(self.retry.delay(attempt))
+        self._suspects[node_id] = time.monotonic() + self.suspect_ttl
+        error = ServiceUnavailableError(
+            f"datanode {node_id} at {address} unreachable after "
+            f"{self.retry.attempts} attempts: {last}")
+        error.node_id = node_id         # type: ignore[attr-defined]
+        raise error from last
+
+    def _refresh_locations(self) -> None:
+        reply = self._nn_call("locations", {})
+        self._datanodes.update(reply["datanodes"])
+
+    def _suspected(self, node_id: int) -> bool:
+        expiry = self._suspects.get(node_id)
+        if expiry is None:
+            return False
+        if time.monotonic() >= expiry:
+            del self._suspects[node_id]
+            return False
+        return True
+
+    def _code(self, code_name: str) -> Code:
+        if code_name not in self._codes:
+            self._codes[code_name] = make_code(code_name)
+        return self._codes[code_name]
+
+    # ------------------------------------------------------------------
+    # Namespace
+    # ------------------------------------------------------------------
+    def list_files(self) -> list[str]:
+        return list(self._nn_call("list", {}))
+
+    def stat(self, name: str) -> dict:
+        info = self._nn_call("stat", {"name": name})
+        self._datanodes.update(info["datanodes"])
+        return info
+
+    def status(self) -> dict:
+        return self._nn_call("status", {})
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def write_file(self, name: str, data: bytes, code_name: str) -> dict:
+        """Stripe, encode and store ``data``; atomic commit at the end.
+
+        A datanode dying mid-write is survived by re-placing the stripe
+        on fresh nodes (the namenode excludes the casualty); any other
+        failure aborts, leaving the namespace exactly as before —
+        partial stripes are never visible because nothing is published
+        until ``commit-write``.
+        """
+        code = self._code(code_name)
+        begin = self._nn_call("begin-write",
+                              {"name": name, "code_name": code_name})
+        block_bytes = int(begin["block_bytes"])
+        placed: list[tuple[int, BlockId]] = []
+        try:
+            stripe_payload = code.k * block_bytes
+            padded = (data + b"\x00" * (-len(data) % stripe_payload)
+                      if data else b"\x00" * stripe_payload)
+            stripes = []
+            for index in range(len(padded) // stripe_payload):
+                blocks = [
+                    padded[index * stripe_payload + i * block_bytes:
+                           index * stripe_payload + (i + 1) * block_bytes]
+                    for i in range(code.k)
+                ]
+                stripes.append(self._store_stripe(
+                    name, index, code, code.encode(blocks), placed))
+            reply = self._nn_call(
+                "commit-write",
+                {"name": name, "code_name": code_name,
+                 "size_bytes": len(data), "stripes": stripes})
+        except Exception as error:
+            self._cleanup_failed_write(name, placed)
+            if (isinstance(error, (ServiceUnavailableError, OSError))
+                    and getattr(error, "code", None) is None):
+                raise WriteFailedError(
+                    f"write of {name!r} failed cleanly (namespace "
+                    f"untouched): {error}") from error
+            raise
+        self.counters["writes"] += 1
+        return {"name": name, "stripes": reply["stripes"],
+                "code_name": code_name, "size_bytes": len(data)}
+
+    def _store_stripe(self, name: str, index: int, code: Code,
+                      encoded, placed) -> dict:
+        """Place and store one stripe, re-placing around dead nodes."""
+        exclude: set[int] = {n for n in self._datanodes
+                             if self._suspected(n)}
+        last: Exception | None = None
+        for _ in range(PLACE_ATTEMPTS):
+            reply = self._nn_call(
+                "place-stripe",
+                {"code_name": code.name, "exclude": sorted(exclude)})
+            slot_nodes = tuple(reply["slot_nodes"])
+            self._datanodes.update(reply["datanodes"])
+            here: list[tuple[int, BlockId]] = []
+            checksums: dict[str, int] = {}
+            try:
+                for symbol in code.layout.symbols:
+                    block = BlockId(name, index, symbol.index)
+                    payload = encoded[symbol.index].tobytes()
+                    for slot in symbol.replicas:
+                        node_id = slot_nodes[slot]
+                        put = self._dn_call(node_id, "put",
+                                            {"block": block_tuple(block),
+                                             "data": payload})
+                        here.append((node_id, block))
+                    checksums[str(symbol.index)] = int(put["crc"])
+            except ServiceUnavailableError as error:
+                last = error
+                casualty = getattr(error, "node_id", None)
+                if casualty is None:
+                    raise
+                exclude.add(casualty)
+                self._delete_blocks(here)   # orphans on the survivors
+                continue
+            placed.extend(here)
+            return {"slot_nodes": slot_nodes, "checksums": checksums}
+        raise WriteFailedError(
+            f"stripe {index} of {name!r} could not be placed after "
+            f"{PLACE_ATTEMPTS} attempts: {last}") from last
+
+    def _delete_blocks(self, entries) -> None:
+        """Best-effort orphan cleanup; failures are ignored by design."""
+        by_node: dict[int, list] = {}
+        for node_id, block in entries:
+            by_node.setdefault(node_id, []).append(block_tuple(block))
+        for node_id, blocks in by_node.items():
+            try:
+                self._dn_call(node_id, "delete", {"blocks": blocks})
+            except Exception:
+                pass
+
+    def _cleanup_failed_write(self, name: str, placed) -> None:
+        self._delete_blocks(placed)
+        try:
+            self._nn_call("abort-write", {"name": name})
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def read_file(self, name: str) -> bytes:
+        """Read a whole file, degrading around failures as needed."""
+        info = self.stat(name)
+        code = self._code(info["code_name"])
+        pieces: list[bytes] = []
+        for stripe_index in range(len(info["stripes"])):
+            for symbol in code.layout.symbols:
+                if symbol.kind is not SymbolKind.DATA:
+                    continue
+                pieces.append(self._read_symbol(
+                    info, code, stripe_index, symbol.index).tobytes())
+        return b"".join(pieces)[:info["size_bytes"]]
+
+    def read_block(self, name: str, stripe_index: int = 0,
+                   symbol_index: int | None = None) -> bytes:
+        """Read one block (default: the stripe's first data symbol)."""
+        info = self.stat(name)
+        code = self._code(info["code_name"])
+        if symbol_index is None:
+            symbol_index = self._first_data_symbol(code)
+        return self._read_symbol(info, code, stripe_index,
+                                 symbol_index).tobytes()
+
+    def degraded_read(self, name: str, stripe_index: int = 0,
+                      symbol_index: int | None = None) -> bytes:
+        """Read one block with its replica slots *forced* failed.
+
+        Measures worst-case reconstruction latency on demand: as many
+        of the symbol's replica slots are failed as the code tolerates,
+        so erasure codes answer with a genuine partial-parity decode.
+        (Pure replication has nothing to decode from — there the forced
+        set stays within tolerance and the read is a surviving copy.)
+        """
+        info = self.stat(name)
+        code = self._code(info["code_name"])
+        if symbol_index is None:
+            symbol_index = self._first_data_symbol(code)
+        return self._read_symbol(info, code, stripe_index, symbol_index,
+                                 force_degraded=True).tobytes()
+
+    @staticmethod
+    def _first_data_symbol(code: Code) -> int:
+        for symbol in code.layout.symbols:
+            if symbol.kind is SymbolKind.DATA:
+                return symbol.index
+        raise ValueError(f"{code.name} has no data symbols")
+
+    def _read_symbol(self, info: dict, code: Code, stripe_index: int,
+                     symbol_index: int,
+                     force_degraded: bool = False) -> np.ndarray:
+        """One symbol, decoding around dead/corrupt/suspect slots.
+
+        With ``force_degraded``, as many of the symbol's replica slots
+        are *additionally* treated as failed as the code still
+        tolerates on top of the genuinely-failed ones — so a forced
+        probe measures reconstruction without ever pushing a wounded
+        stripe past its tolerance.
+        """
+        name = info["name"]
+        slot_nodes = tuple(info["stripes"][stripe_index])
+        real_failed = {slot for slot, node in enumerate(slot_nodes)
+                       if self._suspected(node)}
+        self.counters["reads"] += 1
+        refreshed = False
+        while True:
+            failed = set(real_failed)
+            if force_degraded:
+                for slot in code.layout.symbols[symbol_index].replicas:
+                    if (slot not in failed
+                            and code.can_recover(
+                                tuple(sorted(failed | {slot})))):
+                        failed.add(slot)
+            try:
+                plan = code.plan_degraded_read(symbol_index, failed)
+            except UnrecoverableStripeError as error:
+                if not refreshed:
+                    # The checker may have repaired and re-homed slots
+                    # since our metadata snapshot: refresh once.
+                    refreshed = True
+                    info = self.stat(name)
+                    slot_nodes = tuple(info["stripes"][stripe_index])
+                    real_failed = {
+                        slot for slot, node in enumerate(slot_nodes)
+                        if self._suspected(node)}
+                    continue
+                raise ReadFailedError(
+                    f"block ({name!r}, stripe {stripe_index}, symbol "
+                    f"{symbol_index}) unreadable: slots {sorted(failed)} "
+                    f"all failed and {code.name} cannot decode around "
+                    "them") from error
+            try:
+                payload = self._execute_plan(name, stripe_index, plan,
+                                             slot_nodes)
+            except _SlotFailure as failure:
+                if failure.slot in real_failed:
+                    raise ReadFailedError(
+                        f"slot {failure.slot} failed twice while reading "
+                        f"({name!r}, {stripe_index}, {symbol_index})")
+                real_failed.add(failure.slot)
+                self.counters["replans"] += 1
+                continue
+            if plan.degraded:
+                self.counters["degraded_reads"] += 1
+            return payload
+
+    def _execute_plan(self, name: str, stripe_index: int, plan,
+                      slot_nodes) -> np.ndarray:
+        def fetch(transfer):
+            node_id = slot_nodes[transfer.source_slot]
+            try:
+                if (transfer.kind is TransferKind.COPY
+                        and transfer.coefficients[0] == 1):
+                    reply = self._dn_call(
+                        node_id, "get",
+                        {"block": (name, stripe_index,
+                                   transfer.symbols_read[0])})
+                else:
+                    parts = [((name, stripe_index, symbol),
+                              int(coefficient))
+                             for symbol, coefficient
+                             in zip(transfer.symbols_read,
+                                    transfer.coefficients)]
+                    reply = self._dn_call(node_id, "combine",
+                                          {"parts": parts})
+                return np.frombuffer(reply["data"], dtype=np.uint8)
+            except CorruptBlockError as error:
+                self._report_corrupt(node_id, error.block)
+                raise _SlotFailure(transfer.source_slot) from error
+            except BlockNotFoundError as error:
+                self._report_corrupt(
+                    node_id, BlockId(name, stripe_index,
+                                     transfer.symbols_read[0]))
+                raise _SlotFailure(transfer.source_slot) from error
+            except ServiceUnavailableError as error:
+                raise _SlotFailure(transfer.source_slot) from error
+
+        return execute_read_plan(plan, fetch)
+
+    def _report_corrupt(self, node_id: int, block: BlockId) -> None:
+        """Tell the namenode so the checker repairs ahead of its scrub."""
+        try:
+            self._nn_call("report-corrupt",
+                          {"node_id": node_id,
+                           "block": block_tuple(block)})
+            self.counters["corrupt_reports"] += 1
+        except Exception:
+            pass        # the next scrub will find it anyway

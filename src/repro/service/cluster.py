@@ -1,0 +1,165 @@
+"""Spin up a whole service: one namenode + N datanode subprocesses.
+
+:class:`ServiceCluster` is the harness the CLI, the tests and the
+bench all share.  Datanodes run as real OS processes (``python -m
+repro datanode``) so a ``kill`` fault is an actual ``SIGKILL`` —
+half-written frames, refused reconnects and all — not a polite
+in-process shutdown.  The namenode runs in-process so callers can
+inspect its state directly.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from .client import RetryPolicy, StorageClient
+from .datanode import HEARTBEAT_INTERVAL
+from .faults import FaultPlan
+from .namenode import CHECK_PERIOD, SILENCE_TIMEOUT, NameNodeServer
+from .protocol import ServiceError
+
+#: How long to wait for every datanode to register and heartbeat.
+STARTUP_TIMEOUT = 30.0
+
+
+def _is_settled(status: dict) -> bool:
+    """True when the checker has nothing left to notice or repair:
+    queue drained, no scrubbed damage, and no recoverable stripe still
+    hosted on a dead node (lost stripes are excluded — they will never
+    drain and should fail the caller's *own* assertions instead)."""
+    repair = status["repair"]
+    return (not repair["queued"] and not repair["in_progress"]
+            and not repair["damaged_stripes"]
+            and not repair["degraded_stripes"])
+
+
+class ServiceCluster:
+    """One namenode (in-process) + N datanode subprocesses."""
+
+    def __init__(self, datanodes: int = 6, *, block_bytes: int = 65536,
+                 seed: int = 0, host: str = "127.0.0.1",
+                 silence_timeout: float = SILENCE_TIMEOUT,
+                 check_period: float = CHECK_PERIOD,
+                 heartbeat_interval: float = HEARTBEAT_INTERVAL,
+                 startup_timeout: float = STARTUP_TIMEOUT):
+        if datanodes < 1:
+            raise ValueError("a cluster needs at least one datanode")
+        self.datanode_count = datanodes
+        self.seed = seed
+        self.namenode = NameNodeServer(
+            host, 0, block_bytes=block_bytes, seed=seed,
+            silence_timeout=silence_timeout, check_period=check_period)
+        self.address = self.namenode.address
+        self._procs: dict[int, subprocess.Popen] = {}
+        try:
+            for node_id in range(datanodes):
+                self._procs[node_id] = self._spawn(node_id,
+                                                   heartbeat_interval)
+            self._await_alive(range(datanodes), startup_timeout)
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def _spawn(self, node_id: int,
+               heartbeat_interval: float) -> subprocess.Popen:
+        src_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src_root)] + ([env["PYTHONPATH"]]
+                               if env.get("PYTHONPATH") else []))
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "datanode",
+             "--node-id", str(node_id),
+             "--namenode", f"{self.address[0]}:{self.address[1]}",
+             "--heartbeat-interval", str(heartbeat_interval),
+             "--fault-seed", str(self.seed)],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+    def _await_alive(self, node_ids, timeout: float) -> None:
+        wanted = set(node_ids)
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if wanted <= set(self.namenode._alive_ids()):
+                return
+            for node_id, proc in self._procs.items():
+                if node_id in wanted and proc.poll() is not None:
+                    raise ServiceError(
+                        f"datanode {node_id} exited with "
+                        f"{proc.returncode} during startup")
+            time.sleep(0.05)
+        raise ServiceError(
+            f"datanodes {sorted(wanted - set(self.namenode._alive_ids()))} "
+            f"never became alive within {timeout:.0f}s")
+
+    # ------------------------------------------------------------------
+    def client(self, *, retry: RetryPolicy | None = None,
+               **kwargs) -> StorageClient:
+        return StorageClient(self.address, retry=retry, **kwargs)
+
+    def arm_faults(self, plan: FaultPlan) -> dict[int, list[str]]:
+        """Resolve and arm a fault plan across the datanodes, now.
+
+        Arming defines each fault's ``t=0``; returns what was armed
+        where (``node_id -> fault descriptions``) for logs and tests.
+        """
+        bound = plan.resolve(range(self.datanode_count))
+        armed: dict[int, list[str]] = {}
+        for node_id, faults in sorted(bound.items()):
+            self.namenode._dn_call(node_id, "fault", {"faults": faults})
+            armed[node_id] = [fault.describe() for fault in faults]
+        return armed
+
+    def status(self) -> dict:
+        return self.namenode._op_status({}, None)
+
+    def wait_settled(self, timeout: float = 30.0, poll: float = 0.2,
+                     min_wait: float | None = None) -> dict:
+        """Block until the repair queue is drained (or timeout); returns
+        the final status either way — callers assert on it.
+
+        A freshly-killed datanode looks alive until its heartbeats age
+        past the silence timeout, so "settled" is not believed before
+        ``min_wait`` (default: silence timeout + two checker sweeps —
+        long enough for any already-injected fault to be *detected*).
+        Pass ``min_wait=0`` when nothing has just been broken.
+        """
+        if min_wait is None:
+            min_wait = (self.namenode.silence_timeout
+                        + 2 * self.namenode.check_period)
+        start = time.monotonic()
+        deadline = start + timeout
+        status = self.status()
+        while time.monotonic() < deadline:
+            if (time.monotonic() - start >= min_wait
+                    and _is_settled(status)):
+                return status
+            time.sleep(poll)
+            status = self.status()
+        return status
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + 5.0
+        for proc in self._procs.values():
+            remaining = deadline - time.monotonic()
+            try:
+                proc.wait(timeout=max(0.1, remaining))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+        self._procs.clear()
+        self.namenode.close()
+
+    def __enter__(self) -> "ServiceCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,241 @@
+"""The datanode daemon: block storage behind a socket.
+
+Wraps the in-memory :class:`~repro.cluster.datanode.DataNode` store in
+a :class:`~repro.service.server.FramedRequestServer`, registers with
+its namenode, and heartbeats until shut down.  The data path serves
+
+* ``put`` / ``get`` — store / verified-read one block (every ``get``
+  recomputes the CRC and answers a typed ``corrupt`` error on rot);
+* ``combine`` — GF(2^8)-combine several locally held blocks into one
+  payload (the repair plans' partial parities, computed at the source
+  so a combine costs one block of network, not several);
+* ``checksums`` — current CRCs for a block list (the checker's scrub);
+* ``delete`` — drop orphaned blocks after an aborted write.
+
+Every data-path request first passes the :class:`~.faults.FaultArm`
+hook, so an armed plan can kill, hang, slow or corrupt this daemon at
+a precise request count or time — and a hung daemon also stops
+heartbeating, exactly like the real failure it models.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+
+from ..cluster.datanode import DataNode
+from ..gf import GF256
+from ..net import ProtocolError, backoff_delay, recv_frame, send_frame
+from .faults import FaultArm
+from .protocol import SERVICE_VERSION, block_from_tuple, unmarshal_error
+from .server import FramedRequestServer
+
+#: Datanode -> namenode heartbeat cadence (seconds); the namenode's
+#: silence timeout should be a small multiple of this.
+HEARTBEAT_INTERVAL = 1.0
+
+
+def call(sock: socket.socket, kind: str, data) -> object:
+    """One request/response exchange on a framed connection.
+
+    Returns the ``ok`` payload or raises the peer's marshalled typed
+    error.  Transport failures raise ``ConnectionError``/``OSError``
+    for the caller's retry policy.
+    """
+    send_frame(sock, (kind, data))
+    status, payload = recv_frame(sock)
+    if status == "ok":
+        return payload
+    if status == "err":
+        raise unmarshal_error(*payload)
+    raise ProtocolError(f"unexpected reply status {status!r}")
+
+
+class DataNodeServer:
+    """One storage daemon: request loop, store, faults, heartbeats."""
+
+    def __init__(self, node_id: int, namenode: tuple[str, int], *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 heartbeat_interval: float = HEARTBEAT_INTERVAL,
+                 fault_seed: int = 0, connect_retries: int = 60):
+        self.node_id = node_id
+        self.namenode_address = namenode
+        self.heartbeat_interval = heartbeat_interval
+        self.connect_retries = connect_retries
+        self.store = DataNode(node_id)
+        self._store_lock = threading.Lock()
+        self.faults = FaultArm(self.store, seed=fault_seed)
+        self._shutdown = threading.Event()
+        self._served = 0
+        self.server = FramedRequestServer(
+            self._handle, host, port,
+            before_request=self.faults.before_request,
+            name=f"datanode-{node_id}")
+        self.address = self.server.address
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"datanode-{node_id}-heartbeat", daemon=True)
+        self._heartbeat_thread.start()
+
+    # ------------------------------------------------------------------
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until a ``shutdown`` request arrives."""
+        return self._shutdown.wait(timeout)
+
+    def close(self) -> None:
+        self._shutdown.set()
+        self.server.close()
+
+    def __enter__(self) -> "DataNodeServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _handle(self, kind: str, data, peer) -> object:
+        del peer
+        self._served += 1
+        if kind == "put":
+            block = block_from_tuple(data["block"])
+            with self._store_lock:
+                crc = self.store.put(block, np.frombuffer(data["data"],
+                                                          dtype=np.uint8))
+            return {"crc": crc}
+        if kind == "get":
+            block = block_from_tuple(data["block"])
+            with self._store_lock:
+                payload = self.store.get(block, verify=True)
+                crc = self.store.checksum(block)
+            return {"data": payload.tobytes(), "crc": crc}
+        if kind == "combine":
+            return {"data": self._combine(data["parts"]).tobytes()}
+        if kind == "checksums":
+            return self._checksums(data.get("blocks") if data else None)
+        if kind == "delete":
+            dropped = 0
+            with self._store_lock:
+                for entry in data["blocks"]:
+                    block = block_from_tuple(entry)
+                    if self.store.has(block):
+                        self.store.drop(block)
+                        dropped += 1
+            return {"dropped": dropped}
+        if kind == "fault":
+            pending = self.faults.arm(data["faults"])
+            return {"armed": pending}
+        if kind == "status":
+            with self._store_lock:
+                blocks = self.store.block_count
+                used = self.store.used_bytes
+            return {"node_id": self.node_id, "version": SERVICE_VERSION,
+                    "blocks": blocks, "used_bytes": used,
+                    "requests": self._served,
+                    "faults": self.faults.snapshot()}
+        if kind == "shutdown":
+            self._shutdown.set()
+            return {"node_id": self.node_id}
+        raise ProtocolError(f"unknown datanode request {kind!r}")
+
+    def _combine(self, parts) -> np.ndarray:
+        """GF-combine locally held blocks: the partial-parity hot path."""
+        payload: np.ndarray | None = None
+        with self._store_lock:
+            for entry, coefficient in parts:
+                data = self.store.get(block_from_tuple(entry), verify=True)
+                contribution = GF256.scale(data, int(coefficient))
+                payload = (contribution if payload is None
+                           else GF256.add(payload, contribution))
+        if payload is None:
+            raise ProtocolError("combine of zero blocks")
+        return payload
+
+    def _checksums(self, entries) -> dict:
+        """Current CRCs (recomputed — what a disk scrub would see)."""
+        out: dict[tuple, int | None] = {}
+        with self._store_lock:
+            if entries is None:
+                targets = [(b, (b.file_name, b.stripe_index, b.symbol_index))
+                           for b in self.store.block_ids()]
+            else:
+                targets = [(block_from_tuple(e), tuple(e)) for e in entries]
+            for block, key in targets:
+                out[key] = (self.store.current_checksum(block)
+                            if self.store.has(block) else None)
+        return {"checksums": out}
+
+    # ------------------------------------------------------------------
+    # Namenode-facing side
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        attempts = 0
+        sock: socket.socket | None = None
+        while not self._shutdown.is_set():
+            if self.faults.hung:
+                # A hung daemon goes silent everywhere: stop beating so
+                # the namenode's silence timeout declares us dead.
+                time.sleep(self.heartbeat_interval)
+                continue
+            try:
+                if sock is None:
+                    sock = socket.create_connection(
+                        self.namenode_address, timeout=5.0)
+                    call(sock, "dn-register",
+                         {"node_id": self.node_id,
+                          "address": self.address,
+                          "version": SERVICE_VERSION})
+                    attempts = 0
+                with self._store_lock:
+                    blocks = self.store.block_count
+                call(sock, "dn-heartbeat",
+                     {"node_id": self.node_id, "blocks": blocks})
+            except (ConnectionError, OSError, ProtocolError):
+                if sock is not None:
+                    sock.close()
+                    sock = None
+                attempts += 1
+                if attempts > self.connect_retries:
+                    # Orphaned from the namenode for good: shut down
+                    # rather than serve a cluster that forgot us.
+                    self._shutdown.set()
+                    return
+                time.sleep(backoff_delay(attempts, 0.2, 5.0))
+                continue
+            self._shutdown.wait(self.heartbeat_interval)
+        if sock is not None:
+            sock.close()
+
+
+def run_datanode(node_id: int, namenode: tuple[str, int], *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 heartbeat_interval: float = HEARTBEAT_INTERVAL,
+                 fault_seed: int = 0, connect_retries: int = 60,
+                 log=None, ready=None) -> int:
+    """Run one datanode daemon until it is told to shut down.
+
+    ``ready`` (optional callable) receives the bound address once the
+    daemon is serving — the CLI prints it, tests latch onto it.
+    Returns the number of requests served.
+    """
+    emit = log if log is not None else (lambda message: None)
+    server = DataNodeServer(
+        node_id, namenode, host=host, port=port,
+        heartbeat_interval=heartbeat_interval, fault_seed=fault_seed,
+        connect_retries=connect_retries)
+    try:
+        if ready is not None:
+            ready(server.address)
+        emit(f"datanode {node_id} serving on "
+             f"{server.address[0]}:{server.address[1]} "
+             f"(namenode {namenode[0]}:{namenode[1]})")
+        server.wait()
+        emit(f"datanode {node_id} shutting down "
+             f"({server._served} requests served)")
+        return server._served
+    finally:
+        server.close()

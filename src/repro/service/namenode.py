@@ -1,0 +1,561 @@
+"""The namenode daemon: metadata, liveness, and the checker/repairer.
+
+Owns the namespace (files -> stripes -> slot/node bindings -> write-time
+block checksums), tracks datanode liveness through heartbeats with a
+silence timeout, and runs the background checker loop: every
+``check_period`` it scrubs block checksums across the alive datanodes,
+walks every stripe for slots that are dead or corrupt, queues damaged
+stripes, and repairs them through the codes' own
+:meth:`~repro.core.code.Code.plan_node_repair` planners — reading
+partial parities from surviving daemons, decoding locally, and
+re-placing rebuilt blocks on replacement nodes.  Serving continues
+throughout: reads never block on a repair (clients decode around
+damage on their own), writes are refused only when fewer datanodes are
+alive than the code needs, and a stripe's metadata mutates only under
+its per-stripe lock.
+
+Two-phase writes keep the namespace consistent under client failures:
+``begin-write`` only reserves the name, the client places and stores
+every stripe, and nothing becomes visible until ``commit-write``
+publishes the whole file atomically — a client that dies mid-write
+leaves no partial stripes behind, just an expirable reservation.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.datanode import CorruptBlockError
+from ..cluster.namenode import BlockId, FileInfo, StripeInfo
+from ..core import Code, UnrecoverableStripeError, make_code
+from ..net import ProtocolError
+from .protocol import (
+    SERVICE_VERSION,
+    WriteRefusedError,
+    block_from_tuple,
+    block_tuple,
+)
+from .server import FramedRequestServer
+from .transfer import execute_repair_plan
+
+#: Default silence budget before a datanode is declared dead; must
+#: comfortably exceed the datanodes' heartbeat interval.
+SILENCE_TIMEOUT = 5.0
+
+#: Default checker sweep period.
+CHECK_PERIOD = 2.0
+
+#: Per-RPC timeout for namenode -> datanode calls (scrubs, repairs).
+RPC_TIMEOUT = 5.0
+
+#: A write reservation older than this is expired by the checker — the
+#: client died mid-write; the name becomes available again.
+RESERVATION_TIMEOUT = 120.0
+
+
+@dataclass
+class DataNodeRecord:
+    """Liveness and location of one registered datanode."""
+
+    node_id: int
+    address: tuple[str, int]
+    last_beat: float = field(default_factory=time.monotonic)
+    blocks: int = 0
+
+
+class NameNodeServer:
+    """The metadata daemon; also home of the checker/repairer loop."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 block_bytes: int = 65536, seed: int = 0,
+                 silence_timeout: float = SILENCE_TIMEOUT,
+                 check_period: float = CHECK_PERIOD,
+                 rpc_timeout: float = RPC_TIMEOUT):
+        if block_bytes <= 0:
+            raise ValueError("block size must be positive")
+        self.block_bytes = block_bytes
+        self.silence_timeout = silence_timeout
+        self.check_period = check_period
+        self.rpc_timeout = rpc_timeout
+        self._meta = threading.RLock()
+        self._files: dict[str, FileInfo] = {}
+        self._checksums: dict[BlockId, int] = {}
+        self._pending: dict[str, float] = {}      # reserved name -> since
+        self._datanodes: dict[int, DataNodeRecord] = {}
+        self._codes: dict[str, Code] = {}
+        self._rng = np.random.default_rng(seed)
+        self._damaged: dict[tuple[str, int], set[int]] = {}
+        self._repair_queue: deque[tuple[str, int]] = deque()
+        self._queued: set[tuple[str, int]] = set()
+        self._repairing: tuple[str, int] | None = None
+        self._lost: set[tuple[str, int]] = set()
+        self._stats = {"repairs_done": 0, "repair_failures": 0,
+                       "checker_sweeps": 0, "degraded_blocks_seen": 0}
+        self._stripe_locks: dict[tuple[str, int], threading.Lock] = {}
+        self._closed = threading.Event()
+        self._kick = threading.Event()
+        self.server = FramedRequestServer(self._handle, host, port,
+                                          name="namenode")
+        self.address = self.server.address
+        self._checker_thread = threading.Thread(
+            target=self._checker_loop, name="namenode-checker", daemon=True)
+        self._checker_thread.start()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._closed.set()
+        self._kick.set()
+        self.server.close()
+
+    def __enter__(self) -> "NameNodeServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _code(self, code_name: str) -> Code:
+        with self._meta:
+            if code_name not in self._codes:
+                self._codes[code_name] = make_code(code_name)
+            return self._codes[code_name]
+
+    def _alive_ids(self) -> list[int]:
+        """Datanodes whose last heartbeat is within the silence budget."""
+        horizon = time.monotonic() - self.silence_timeout
+        with self._meta:
+            return sorted(node_id
+                          for node_id, record in self._datanodes.items()
+                          if record.last_beat >= horizon)
+
+    def _addresses(self) -> dict[int, tuple[str, int]]:
+        with self._meta:
+            return {node_id: record.address
+                    for node_id, record in self._datanodes.items()}
+
+    def _stripe_lock(self, key: tuple[str, int]) -> threading.Lock:
+        with self._meta:
+            return self._stripe_locks.setdefault(key, threading.Lock())
+
+    def _dn_call(self, node_id: int, kind: str, data) -> object:
+        """One short-lived RPC to a datanode (scrub/repair path)."""
+        from .datanode import call
+
+        address = self._addresses().get(node_id)
+        if address is None:
+            raise ConnectionError(f"datanode {node_id} is not registered")
+        with socket.create_connection(address,
+                                      timeout=self.rpc_timeout) as sock:
+            sock.settimeout(self.rpc_timeout)
+            return call(sock, kind, data)
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _handle(self, kind: str, data, peer) -> object:
+        handler = getattr(self, f"_op_{kind.replace('-', '_')}", None)
+        if handler is None:
+            raise ProtocolError(f"unknown namenode request {kind!r}")
+        return handler(data, peer)
+
+    # -- datanode-facing ----------------------------------------------
+    def _op_dn_register(self, data, peer) -> dict:
+        del peer
+        if data.get("version") != SERVICE_VERSION:
+            raise ProtocolError(
+                f"datanode speaks service version {data.get('version')}, "
+                f"namenode speaks {SERVICE_VERSION}")
+        node_id = int(data["node_id"])
+        address = (str(data["address"][0]), int(data["address"][1]))
+        with self._meta:
+            record = self._datanodes.get(node_id)
+            if record is None:
+                self._datanodes[node_id] = DataNodeRecord(node_id, address)
+            else:       # reconnect / restart: refresh address and beat
+                record.address = address
+                record.last_beat = time.monotonic()
+        return {"node_id": node_id, "block_bytes": self.block_bytes,
+                "version": SERVICE_VERSION}
+
+    def _op_dn_heartbeat(self, data, peer) -> dict:
+        del peer
+        node_id = int(data["node_id"])
+        with self._meta:
+            record = self._datanodes.get(node_id)
+            if record is None:
+                raise ProtocolError(
+                    f"heartbeat from unregistered datanode {node_id}")
+            record.last_beat = time.monotonic()
+            record.blocks = int(data.get("blocks", 0))
+        return {}
+
+    # -- client-facing: namespace -------------------------------------
+    def _op_locations(self, data, peer) -> dict:
+        del data, peer
+        return {"datanodes": self._addresses(), "alive": self._alive_ids()}
+
+    def _op_list(self, data, peer) -> list:
+        del data, peer
+        with self._meta:
+            return sorted(self._files)
+
+    def _op_stat(self, data, peer) -> dict:
+        del peer
+        name = str(data["name"])
+        with self._meta:
+            if name not in self._files:
+                raise FileNotFoundError(name)
+            info = self._files[name]
+            stripes = [tuple(stripe.slot_nodes) for stripe in info.stripes]
+            out = {"name": name, "code_name": info.code_name,
+                   "size_bytes": info.size_bytes,
+                   "block_bytes": info.block_bytes,
+                   "stripes": stripes}
+        out["datanodes"] = self._addresses()
+        out["alive"] = self._alive_ids()
+        return out
+
+    def _op_begin_write(self, data, peer) -> dict:
+        del peer
+        name = str(data["name"])
+        code = self._code(str(data["code_name"]))
+        alive = self._alive_ids()
+        if len(alive) < code.length:
+            raise WriteRefusedError(
+                f"{code.name} needs {code.length} datanodes, only "
+                f"{len(alive)} alive — the service is read-only below "
+                "the code's tolerance")
+        with self._meta:
+            if name in self._files:
+                raise FileExistsError(f"file {name!r} already exists")
+            if name in self._pending:
+                raise WriteRefusedError(
+                    f"file {name!r} is already being written")
+            self._pending[name] = time.monotonic()
+        return {"block_bytes": self.block_bytes}
+
+    def _op_place_stripe(self, data, peer) -> dict:
+        del peer
+        code = self._code(str(data["code_name"]))
+        exclude = set(data.get("exclude") or ())
+        eligible = [n for n in self._alive_ids() if n not in exclude]
+        if len(eligible) < code.length:
+            raise WriteRefusedError(
+                f"{code.name} needs {code.length} distinct datanodes; "
+                f"{len(eligible)} eligible (alive minus {sorted(exclude)})")
+        with self._meta:
+            picks = self._rng.choice(len(eligible), size=code.length,
+                                     replace=False)
+        slot_nodes = tuple(int(eligible[i]) for i in picks)
+        return {"slot_nodes": slot_nodes, "datanodes": self._addresses()}
+
+    def _op_commit_write(self, data, peer) -> dict:
+        del peer
+        name = str(data["name"])
+        code = self._code(str(data["code_name"]))
+        info = FileInfo(name=name, code_name=str(data["code_name"]),
+                        size_bytes=int(data["size_bytes"]),
+                        block_bytes=self.block_bytes)
+        checksums: dict[BlockId, int] = {}
+        for index, stripe_record in enumerate(data["stripes"]):
+            stripe = StripeInfo(name, index, code,
+                                tuple(int(n)
+                                      for n in stripe_record["slot_nodes"]))
+            for symbol_text, crc in stripe_record["checksums"].items():
+                symbol = int(symbol_text)
+                checksums[stripe.block_id(symbol)] = int(crc)
+            if len(stripe_record["checksums"]) != code.layout.symbol_count:
+                raise ProtocolError(
+                    f"stripe {index} commits "
+                    f"{len(stripe_record['checksums'])} checksums; "
+                    f"{code.name} has {code.layout.symbol_count} symbols")
+            info.stripes.append(stripe)
+        with self._meta:
+            if name not in self._pending:
+                raise ProtocolError(
+                    f"commit of {name!r} without begin-write")
+            if name in self._files:
+                raise FileExistsError(f"file {name!r} already exists")
+            # Atomic publish: namespace + checksums land together.
+            self._files[name] = info
+            self._checksums.update(checksums)
+            del self._pending[name]
+        return {"stripes": len(info.stripes)}
+
+    def _op_abort_write(self, data, peer) -> dict:
+        del peer
+        name = str(data["name"])
+        with self._meta:
+            existed = self._pending.pop(name, None) is not None
+        return {"aborted": existed}
+
+    def _op_report_corrupt(self, data, peer) -> dict:
+        """A client hit a corrupt or missing block: queue the stripe now
+        rather than waiting for the next scrub."""
+        del peer
+        block = block_from_tuple(data["block"])
+        key = (block.file_name, block.stripe_index)
+        with self._meta:
+            info = self._files.get(block.file_name)
+            if info is None:
+                raise FileNotFoundError(block.file_name)
+            stripe = info.stripes[block.stripe_index]
+            slot = stripe.slot_of_node(int(data["node_id"]))
+            if slot is not None:
+                self._damaged.setdefault(key, set()).add(slot)
+                self._enqueue_repair(key)
+        self._kick.set()
+        return {}
+
+    def _op_status(self, data, peer) -> dict:
+        del data, peer
+        alive = set(self._alive_ids())
+        now = time.monotonic()
+        with self._meta:
+            datanodes = {
+                node_id: {"address": record.address,
+                          "alive": node_id in alive,
+                          "blocks": record.blocks,
+                          "silence_s": round(now - record.last_beat, 3)}
+                for node_id, record in self._datanodes.items()
+            }
+            stripe_count = sum(len(info.stripes)
+                               for info in self._files.values())
+            # Stripes with a slot on a dead node: the checker's backlog
+            # even before its next sweep has noticed — the load/CI
+            # settle condition keys off this going to zero.
+            degraded_stripes = sum(
+                1 for info in self._files.values()
+                for stripe in info.stripes
+                if (stripe.file_name, stripe.stripe_index) not in self._lost
+                and any(node not in alive for node in stripe.slot_nodes))
+            out = {
+                "version": SERVICE_VERSION,
+                "block_bytes": self.block_bytes,
+                "datanodes": datanodes,
+                "alive": sorted(alive),
+                "files": len(self._files),
+                "pending_writes": len(self._pending),
+                "stripes": stripe_count,
+                "repair": {
+                    "queued": len(self._repair_queue),
+                    "in_progress": self._repairing is not None,
+                    "damaged_stripes": len(self._damaged),
+                    "degraded_stripes": degraded_stripes,
+                    "done": self._stats["repairs_done"],
+                    "failed": self._stats["repair_failures"],
+                    "lost": sorted(self._lost),
+                },
+                "checker": {
+                    "sweeps": self._stats["checker_sweeps"],
+                    "period_s": self.check_period,
+                    "silence_timeout_s": self.silence_timeout,
+                },
+            }
+        return out
+
+    def _op_shutdown(self, data, peer) -> dict:
+        del data, peer
+        threading.Thread(target=self.close, daemon=True).start()
+        return {}
+
+    # ------------------------------------------------------------------
+    # Checker / repairer loop
+    # ------------------------------------------------------------------
+    def _enqueue_repair(self, key: tuple[str, int]) -> None:
+        with self._meta:
+            if key not in self._queued and key not in self._lost:
+                self._queued.add(key)
+                self._repair_queue.append(key)
+
+    def _checker_loop(self) -> None:
+        while not self._closed.is_set():
+            self._kick.wait(timeout=self.check_period)
+            self._kick.clear()
+            if self._closed.is_set():
+                return
+            try:
+                self._sweep()
+            except Exception:       # a sick sweep must not kill the loop
+                pass
+            self._drain_repairs()
+
+    def _sweep(self) -> None:
+        """One checker pass: scrub checksums, find damage, queue repairs."""
+        alive = set(self._alive_ids())
+        with self._meta:
+            stripes = [stripe for info in self._files.values()
+                       for stripe in info.stripes]
+            expected = dict(self._checksums)
+            now = time.monotonic()
+            for name, since in list(self._pending.items()):
+                if now - since > RESERVATION_TIMEOUT:
+                    del self._pending[name]     # writer died; free the name
+            self._stats["checker_sweeps"] += 1
+        # Scrub: ask each alive datanode for the current CRCs of every
+        # block we believe it holds; mismatch or absence marks the slot.
+        blocks_by_node: dict[int, list[BlockId]] = {}
+        for stripe in stripes:
+            for slot, node_id in enumerate(stripe.slot_nodes):
+                if node_id not in alive:
+                    continue
+                for symbol in stripe.code.layout.symbols_on_slot(slot):
+                    blocks_by_node.setdefault(node_id, []).append(
+                        stripe.block_id(symbol))
+        damaged_blocks: set[tuple[BlockId, int]] = set()
+        for node_id, blocks in blocks_by_node.items():
+            try:
+                reply = self._dn_call(
+                    node_id, "checksums",
+                    {"blocks": [block_tuple(b) for b in blocks]})
+            except (ConnectionError, OSError, ProtocolError):
+                continue        # silent node: liveness will catch it
+            crcs = reply["checksums"]
+            for block in blocks:
+                seen = crcs.get(block_tuple(block))
+                if seen is None or seen != expected.get(block):
+                    damaged_blocks.add((block, node_id))
+        # Walk stripes: dead slots + scrubbed damage -> repair queue.
+        for stripe in stripes:
+            key = (stripe.file_name, stripe.stripe_index)
+            slots = {slot for slot, node in enumerate(stripe.slot_nodes)
+                     if node not in alive}
+            for block, node_id in damaged_blocks:
+                if (block.file_name, block.stripe_index) == key:
+                    slot = stripe.slot_of_node(node_id)
+                    if slot is not None:
+                        slots.add(slot)
+            if slots:
+                with self._meta:
+                    self._damaged.setdefault(key, set()).update(slots)
+                self._enqueue_repair(key)
+
+    def _drain_repairs(self) -> None:
+        while not self._closed.is_set():
+            with self._meta:
+                if not self._repair_queue:
+                    return
+                key = self._repair_queue.popleft()
+                self._queued.discard(key)
+                self._repairing = key
+            requeue = False
+            try:
+                requeue = not self._repair_stripe(key)
+            except UnrecoverableStripeError:
+                with self._meta:
+                    self._lost.add(key)
+                    self._damaged.pop(key, None)
+                    self._stats["repair_failures"] += 1
+            except CorruptBlockError as error:
+                # A repair source turned out corrupt: widen the damage
+                # set and try again next round.
+                with self._meta:
+                    info = self._files.get(key[0])
+                    if info is not None:
+                        stripe = info.stripes[key[1]]
+                        slot = stripe.slot_of_node(error.node_id)
+                        if slot is not None:
+                            self._damaged.setdefault(key, set()).add(slot)
+                    self._stats["repair_failures"] += 1
+                requeue = True
+            except Exception:
+                with self._meta:
+                    self._stats["repair_failures"] += 1
+                requeue = True
+            finally:
+                with self._meta:
+                    self._repairing = None
+            if requeue:
+                self._enqueue_repair(key)
+                return      # let liveness/scrub state evolve first
+
+    def _repair_stripe(self, key: tuple[str, int]) -> bool:
+        """Rebuild one stripe's damaged slots; True when fully handled.
+
+        Serving continues while this runs — only the stripe's own lock
+        is held, and readers never take it (they decode around damage
+        client-side until the repair lands).
+        """
+        with self._stripe_lock(key):
+            alive = set(self._alive_ids())
+            with self._meta:
+                info = self._files.get(key[0])
+                if info is None:
+                    self._damaged.pop(key, None)
+                    return True     # file deleted meanwhile
+                stripe = info.stripes[key[1]]
+                scrubbed = set(self._damaged.get(key, ()))
+            code = stripe.code
+            dead = {slot for slot, node in enumerate(stripe.slot_nodes)
+                    if node not in alive}
+            damaged = dead | {slot for slot in scrubbed
+                              if slot < code.length}
+            if not damaged:
+                with self._meta:
+                    self._damaged.pop(key, None)
+                return True         # healed elsewhere (e.g. node revived)
+            failed = tuple(sorted(damaged))
+            if not code.can_recover(failed):
+                raise UnrecoverableStripeError(
+                    code.name, failed, code.layout.lost_symbols(set(failed)))
+            # Replacements: corrupt-but-alive slots repair in place;
+            # dead slots move to alive nodes outside the stripe.
+            replacements: dict[int, int] = {}
+            spare = sorted(alive - set(stripe.slot_nodes))
+            for slot in failed:
+                node = stripe.slot_nodes[slot]
+                if node in alive:
+                    replacements[slot] = node
+                elif spare:
+                    replacements[slot] = spare.pop(0)
+                else:
+                    return False    # no replacement capacity yet: requeue
+            plan = code.plan_node_repair(failed)
+
+            def fetch(transfer):
+                node_id = stripe.slot_nodes[transfer.source_slot]
+                parts = [(block_tuple(stripe.block_id(symbol)),
+                          int(coefficient))
+                         for symbol, coefficient
+                         in zip(transfer.symbols_read,
+                                transfer.coefficients)]
+                reply = self._dn_call(node_id, "combine", {"parts": parts})
+                return np.frombuffer(reply["data"], dtype=np.uint8)
+
+            recovered = execute_repair_plan(plan, fetch)
+            with self._meta:
+                expected = {
+                    symbol: self._checksums.get(stripe.block_id(symbol))
+                    for slot in failed
+                    for symbol in code.layout.symbols_on_slot(slot)
+                }
+            for slot in failed:
+                target = replacements[slot]
+                for symbol in code.layout.symbols_on_slot(slot):
+                    if symbol not in recovered:
+                        raise UnrecoverableStripeError(
+                            code.name, failed, (symbol,))
+                    reply = self._dn_call(
+                        target, "put",
+                        {"block": block_tuple(stripe.block_id(symbol)),
+                         "data": recovered[symbol].tobytes()})
+                    if (expected[symbol] is not None
+                            and reply["crc"] != expected[symbol]):
+                        raise CorruptBlockError(
+                            target, stripe.block_id(symbol))
+            with self._meta:
+                nodes = list(stripe.slot_nodes)
+                for slot in failed:
+                    nodes[slot] = replacements[slot]
+                stripe.slot_nodes = tuple(nodes)
+                self._damaged.pop(key, None)
+                self._stats["repairs_done"] += 1
+            return True

@@ -1,0 +1,103 @@
+"""Threaded request loop shared by the namenode and datanode daemons.
+
+One :class:`FramedRequestServer` owns a listening socket, an accept
+thread, and a thread pool; each accepted connection is served by one
+pool worker that loops ``recv_frame -> dispatch -> send_frame`` until
+the peer hangs up or goes idle past the timeout.  Handler exceptions
+are marshalled into typed error frames (:mod:`.protocol`) — a service
+thread never dies loudly on bad input, and a request that raises never
+takes the daemon down with it.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from ..net import ProtocolError, recv_frame, send_frame
+from .protocol import marshal_error
+
+#: A connection silent for this long is dropped (heartbeat connections
+#: tick far faster; a parked client can simply reconnect).
+IDLE_TIMEOUT = 120.0
+
+
+class FramedRequestServer:
+    """Accept loop + per-connection request workers over one port.
+
+    ``handler(kind, data, peer)`` produces the reply payload for one
+    request (``peer`` is the remote address, for logging/liveness);
+    whatever it raises is marshalled to the client as a typed error
+    frame.  ``before_request`` (optional) runs ahead of every dispatch
+    — the datanode's fault-injection arm hooks here, so ``slow``/
+    ``hang``/``kill`` faults strike the request path exactly where a
+    sick daemon would.
+    """
+
+    def __init__(self, handler, host: str = "127.0.0.1", port: int = 0, *,
+                 max_workers: int = 64, idle_timeout: float = IDLE_TIMEOUT,
+                 before_request=None, name: str = "service"):
+        self._handler = handler
+        self._before_request = before_request
+        self._idle_timeout = idle_timeout
+        self._name = name
+        self._closed = threading.Event()
+        self._server = socket.create_server((host, port))
+        self.address: tuple[str, int] = self._server.getsockname()[:2]
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix=f"{name}-req")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"{name}-accept", daemon=True)
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._server.close()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "FramedRequestServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, addr = self._server.accept()
+            except OSError:        # listening socket closed
+                return
+            try:
+                self._pool.submit(self._serve_connection, conn, addr)
+            except RuntimeError:   # pool shut down mid-accept
+                conn.close()
+                return
+
+    def _serve_connection(self, conn: socket.socket, addr) -> None:
+        try:
+            conn.settimeout(self._idle_timeout)
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while not self._closed.is_set():
+                try:
+                    kind, data = recv_frame(conn)
+                except Exception:
+                    return         # peer gone, idle timeout, or garbage
+                if kind == "bye":
+                    return
+                try:
+                    if self._before_request is not None:
+                        self._before_request(kind, data)
+                    reply = ("ok", self._handler(kind, data, addr))
+                except Exception as error:
+                    reply = ("err", marshal_error(error))
+                try:
+                    send_frame(conn, reply)
+                except (ConnectionError, OSError):
+                    return
+        finally:
+            conn.close()

@@ -1,0 +1,88 @@
+"""Execute repair/read plans over datanode RPCs.
+
+The network twin of :mod:`repro.cluster.plan_runtime`: the same
+declarative :class:`~repro.core.repair.RepairPlan` /
+:class:`~repro.core.repair.ReadPlan` recipes, but every source read is
+a ``fetch(transfer)`` callback that the caller backs with a datanode
+``get``/``combine`` RPC.  Partial parities are thus computed *at the
+source daemon* from blocks it holds locally — the paper's combine
+optimisation survives the hop from simulator to service — while decode
+steps run at the caller (the reading client, or the namenode's
+repairer standing in for the replacement node).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.repair import ReadPlan, RepairPlan, TransferKind
+from ..gf import GF256
+
+
+class PlanTransferError(RuntimeError):
+    """A plan referenced payloads that never materialised."""
+
+
+def execute_read_plan(plan: ReadPlan, fetch) -> np.ndarray:
+    """Run a read plan; ``fetch(transfer)`` returns each source payload.
+
+    A zero-transfer (reader-local) plan cannot be executed remotely —
+    callers turn those into a plain replica ``get`` instead.
+    """
+    if not plan.transfers:
+        raise PlanTransferError(
+            "a reader-local plan has no transfers to execute remotely")
+    payloads: list[np.ndarray] = []
+    for transfer in plan.transfers:
+        payload = fetch(transfer)
+        payloads.append(payload)
+        if transfer.delivers_symbol == plan.symbol:
+            return payload
+    for step in plan.decode_steps:
+        if step.produces_symbol == plan.symbol:
+            value = np.zeros_like(payloads[0])
+            for index, coefficient in zip(step.payload_indices,
+                                          step.coefficients):
+                GF256.axpy(value, coefficient, payloads[index])
+            return value
+    raise PlanTransferError("read plan never produced the requested symbol")
+
+
+def execute_repair_plan(plan: RepairPlan, fetch) -> dict[int, np.ndarray]:
+    """Run a repair plan; returns ``symbol -> recovered bytes``.
+
+    ``fetch(transfer)`` resolves COPY and PARTIAL_PARITY transfers;
+    DECODED forwards are satisfied locally from already-solved symbols
+    (the caller plays every replacement node at once, so "forwarding"
+    is a local hand-off).
+    """
+    payloads: list[np.ndarray] = []
+    produced: dict[int, np.ndarray] = {}
+    recovered: dict[int, np.ndarray] = {}
+    for transfer in plan.transfers:
+        if transfer.kind is TransferKind.DECODED:
+            symbol = transfer.symbols_read[0]
+            if symbol not in produced:
+                raise PlanTransferError(
+                    f"plan forwards symbol {symbol} before it was decoded")
+            payload = produced[symbol].copy()
+        else:
+            payload = fetch(transfer)
+        payloads.append(payload)
+        if transfer.delivers_symbol is not None:
+            recovered[transfer.delivers_symbol] = payload
+        for step in plan.decode_steps:
+            if step.produces_symbol in produced:
+                continue
+            if max(step.payload_indices, default=-1) < len(payloads):
+                value = np.zeros_like(payloads[0])
+                for index, coefficient in zip(step.payload_indices,
+                                              step.coefficients):
+                    GF256.axpy(value, coefficient, payloads[index])
+                produced[step.produces_symbol] = value
+                recovered[step.produces_symbol] = value
+    for step in plan.decode_steps:
+        if step.produces_symbol not in produced:
+            raise PlanTransferError(
+                f"decode step for symbol {step.produces_symbol} starved")
+    return recovered

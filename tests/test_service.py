@@ -1,0 +1,193 @@
+"""The storage service end to end: real namenode + datanode
+subprocesses over loopback sockets.  Covers the acceptance scenario
+(SIGKILL one datanode mid-load: reads keep succeeding degraded, the
+checker repairs and re-homes every lost block) plus the two-phase
+write guarantees and the checker's corruption scrub."""
+
+import time
+
+import pytest
+
+from repro.service import (
+    FaultPlan,
+    RetryPolicy,
+    ServiceCluster,
+    StorageClient,
+    WriteRefusedError,
+    parse_fault_plan,
+)
+from repro.service.cluster import _is_settled
+from repro.service.load import file_payload, run_load
+
+#: Tight timings so failure detection fits in test time.
+FAST = dict(block_bytes=2048, silence_timeout=1.2, check_period=0.3,
+            heartbeat_interval=0.3)
+
+
+def fast_retry(seed=0):
+    return RetryPolicy(attempts=2, timeout=1.0, base_delay=0.05,
+                       max_delay=0.2, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def benign_cluster():
+    """Shared cluster for tests that do not destroy datanodes."""
+    with ServiceCluster(6, seed=2, **FAST) as cluster:
+        yield cluster
+
+
+class TestReadWrite:
+    def test_round_trip_and_stat(self, benign_cluster):
+        with benign_cluster.client(retry=fast_retry()) as client:
+            data = file_payload(2, 0, 9 * 2048 * 2 + 77)
+            info = client.write_file("rw-pentagon", data, "pentagon")
+            assert info["stripes"] == 3          # padded final stripe
+            assert client.read_file("rw-pentagon") == data
+            stat = client.stat("rw-pentagon")
+            assert stat["code_name"] == "pentagon"
+            assert all(len(set(s)) == 5 for s in stat["stripes"])
+            assert "rw-pentagon" in client.list_files()
+
+    def test_replication_code_round_trip(self, benign_cluster):
+        with benign_cluster.client(retry=fast_retry()) as client:
+            data = file_payload(2, 1, 2048 + 5)
+            client.write_file("rw-3rep", data, "3-rep")
+            assert client.read_file("rw-3rep") == data
+
+    def test_duplicate_name_refused_typed(self, benign_cluster):
+        with benign_cluster.client(retry=fast_retry()) as client:
+            client.write_file("dup", b"x" * 100, "3-rep")
+            with pytest.raises(FileExistsError):
+                client.write_file("dup", b"y" * 100, "3-rep")
+
+    def test_missing_file_is_typed(self, benign_cluster):
+        with benign_cluster.client(retry=fast_retry()) as client:
+            with pytest.raises(FileNotFoundError):
+                client.stat("never-written")
+
+    def test_forced_degraded_read_reconstructs(self, benign_cluster):
+        with benign_cluster.client(retry=fast_retry()) as client:
+            data = file_payload(2, 2, 9 * 2048)
+            client.write_file("deg", data, "pentagon")
+            assert client.degraded_read("deg", 0) == data[:2048]
+            assert client.counters["degraded_reads"] >= 1
+
+
+class TestCheckerRepairsCorruption:
+    def test_corrupt_fault_is_scrubbed_and_repaired(self, benign_cluster):
+        cluster = benign_cluster
+        with cluster.client(retry=fast_retry()) as client:
+            data = file_payload(2, 3, 9 * 2048)
+            client.write_file("rot", data, "pentagon")
+            victim = client.stat("rot")["stripes"][0][0]
+            # k=1: the very next data-path request rots one block.
+            cluster.arm_faults(parse_fault_plan(
+                f"corrupt:dn{victim}@k=1", seed=2))
+            client.read_file("rot")              # trips the trigger
+            before = cluster.status()["repair"]["done"]
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                status = cluster.status()
+                if (status["repair"]["done"] > before
+                        and _is_settled(status)):
+                    break
+                time.sleep(0.2)
+            status = cluster.status()
+            assert status["repair"]["done"] > before
+            assert not status["repair"]["lost"]
+            # Repaired in place: contents bit-exact again everywhere.
+            assert client.read_file("rot") == data
+
+
+class TestKillRecovery:
+    def test_kill_one_datanode_reads_degrade_then_repair(self):
+        """The tentpole acceptance path, driven through run_load."""
+        plan = parse_fault_plan("kill:random@t=0.5", seed=7)
+        with ServiceCluster(6, seed=7, **FAST) as cluster:
+            report = run_load(
+                cluster.address, files=2, file_bytes=4 * 2048,
+                code_name="pentagon", duration=2.5, workers=2, seed=7,
+                fault_plan=plan, retry=fast_retry(7),
+                settle_timeout=30.0)
+            assert report["reads"]["ops"] > 0
+            assert report["reads"]["failed"] == 0          # 100% success
+            assert report["reads"]["mismatched"] == 0      # bit-exact
+            assert report["repair"]["settled"]             # queue drained
+            assert not report["repair"]["lost"]
+            assert report["repair"]["done"] >= 1
+            assert len(report["alive"]) == 5               # one casualty
+            # Same seed, same victim: the plan resolution is seeded.
+            assert plan.resolve(range(6)) == plan.resolve(range(6))
+
+    def test_hung_datanode_goes_silent_and_is_repaired_around(self):
+        with ServiceCluster(6, seed=4, **FAST) as cluster:
+            with cluster.client(retry=fast_retry(4)) as client:
+                data = file_payload(4, 0, 9 * 2048)
+                client.write_file("h", data, "pentagon")
+                victim = client.stat("h")["stripes"][0][0]
+                cluster.arm_faults(parse_fault_plan(
+                    f"hang:dn{victim}@k=1", seed=4))
+            # A fresh client (no pooled socket) pays the timeout once,
+            # then decodes around the hung daemon.
+            with cluster.client(retry=RetryPolicy(
+                    attempts=1, timeout=0.6, base_delay=0.05,
+                    max_delay=0.1)) as client:
+                assert client.read_file("h") == data
+                status = cluster.wait_settled(timeout=30.0)
+                assert _is_settled(status)
+                assert victim not in status["alive"]   # heartbeats stopped
+                assert client.read_file("h") == data
+
+
+class TestTwoPhaseWrites:
+    def test_kill_mid_write_completes_by_replacement(self):
+        """Satellite: a datanode SIGKILLed mid-write_file; with spare
+        nodes the client re-places the stripe and the write completes,
+        bit-exact."""
+        with ServiceCluster(6, seed=5, **FAST) as cluster:
+            # Every datanode serves its first request then dies?  No —
+            # kill exactly one node on its first data-path request, so
+            # the casualty dies mid-put of the very first stripe.
+            cluster.arm_faults(parse_fault_plan("kill:dn3@k=1", seed=5))
+            with cluster.client(retry=fast_retry(5)) as client:
+                data = file_payload(5, 0, 9 * 2048 * 3 + 9)
+                info = client.write_file("mw", data, "pentagon")
+                assert info["stripes"] == 4
+                assert client.read_file("mw") == data
+                assert 3 not in {node
+                                 for s in client.stat("mw")["stripes"]
+                                 for node in s}
+
+    def test_kill_mid_write_fails_clean_when_no_replacement(self):
+        """Satellite: same kill, but with zero spare nodes the write
+        must fail *cleanly* — typed error, name free again, no partial
+        stripes visible."""
+        with ServiceCluster(5, seed=6, **FAST) as cluster:
+            cluster.arm_faults(parse_fault_plan("kill:dn1@k=1", seed=6))
+            with cluster.client(retry=fast_retry(6)) as client:
+                data = file_payload(6, 0, 9 * 2048 * 2)
+                with pytest.raises(WriteRefusedError):
+                    client.write_file("doomed", data, "pentagon")
+                assert client.list_files() == []       # nothing visible
+                with pytest.raises(FileNotFoundError):
+                    client.stat("doomed")
+                # The reservation was released: a rewrite is refused
+                # for *capacity*, not because the name is stuck taken.
+                with pytest.raises(WriteRefusedError, match="alive"):
+                    client.write_file("doomed", data, "pentagon")
+
+    def test_writes_refused_below_code_tolerance(self):
+        with ServiceCluster(3, seed=8, **FAST) as cluster:
+            with cluster.client(retry=fast_retry(8)) as client:
+                client.write_file("ok", b"z" * 64, "3-rep")
+                proc = cluster._procs[0]
+                proc.kill()
+                proc.wait()
+                deadline = time.monotonic() + 10
+                while (time.monotonic() < deadline
+                       and 0 in cluster.namenode._alive_ids()):
+                    time.sleep(0.1)
+                with pytest.raises(WriteRefusedError):
+                    client.write_file("nope", b"z" * 64, "3-rep")
+                # Reads still fine: the service degrades to read-only.
+                assert client.read_file("ok") == b"z" * 64

@@ -1,0 +1,217 @@
+"""Fault-injection harness: spec grammar, seeded determinism, the
+datanode-side arm, and the checksum substrate it leans on
+(per-block CRCs + typed ``CorruptBlockError`` on the MiniHDFS read
+path)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BlockId,
+    ClusterTopology,
+    CorruptBlockError,
+    DataNode,
+    MiniHDFS,
+    block_checksum,
+)
+from repro.core import UnrecoverableStripeError
+from repro.service.faults import (
+    Fault,
+    FaultArm,
+    FaultPlan,
+    parse_fault,
+    parse_fault_plan,
+)
+
+
+class TestGrammar:
+    def test_kill_at_time(self):
+        fault = parse_fault("kill:dn2@t=2")
+        assert (fault.action, fault.target, fault.at_time) == ("kill", 2,
+                                                               2.0)
+        assert fault.on_request is None
+
+    def test_slow_with_options(self):
+        fault = parse_fault("slow:dn1@k=3,delay=0.2,duration=5")
+        assert fault.action == "slow"
+        assert (fault.on_request, fault.delay, fault.duration) == (3, 0.2,
+                                                                   5.0)
+
+    def test_random_target(self):
+        assert parse_fault("corrupt:random@k=10").target is None
+
+    def test_describe_roundtrips(self):
+        for spec in ("kill:dn2@t=2", "hang:dn0@k=5",
+                     "slow:dn1@t=1,delay=0.2",
+                     "slow:dn1@k=3,delay=0.2,duration=5",
+                     "corrupt:random@k=10"):
+            assert parse_fault(parse_fault(spec).describe()) == \
+                parse_fault(spec)
+
+    @pytest.mark.parametrize("bad", [
+        "kill:dn2",                  # no trigger
+        "kill@t=2",                  # no target
+        "explode:dn1@t=1",           # unknown action
+        "kill:node2@t=1",            # malformed target
+        "kill:dn1@t=1,k=2",          # two triggers
+        "kill:dn1@x=2",              # unknown key
+        "kill:dn1@t=soon",           # non-numeric
+        "slow:dn1@k=1.5",            # fractional request count
+    ])
+    def test_rejected_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault(bad)
+
+    def test_plan_parses_semicolon_list(self):
+        plan = parse_fault_plan("kill:dn0@t=1; slow:dn1@k=2,delay=0.1",
+                                seed=9)
+        assert len(plan.faults) == 2
+        assert plan.seed == 9
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            Fault(action="kill", target=0)          # no trigger
+        with pytest.raises(ValueError):
+            Fault(action="kill", target=0, at_time=-1.0)
+        with pytest.raises(ValueError):
+            Fault(action="kill", target=0, on_request=0)
+
+
+class TestDeterminism:
+    def test_random_targets_reproduce_with_seed(self):
+        plan = parse_fault_plan("kill:random@t=1;corrupt:random@k=3",
+                                seed=11)
+        first = plan.resolve(range(8))
+        assert plan.resolve(range(8)) == first
+        assert FaultPlan(plan.faults, seed=11).resolve(range(8)) == first
+
+    def test_explicit_target_must_exist(self):
+        plan = parse_fault_plan("kill:dn7@t=1")
+        with pytest.raises(ValueError, match="dn7"):
+            plan.resolve(range(4))
+
+    def test_resolve_groups_by_node(self):
+        plan = parse_fault_plan("slow:dn1@t=0,delay=0.1;kill:dn1@t=2")
+        bound = plan.resolve(range(3))
+        assert set(bound) == {1}
+        assert len(bound[1]) == 2
+
+
+def _loaded_store(blocks=4, size=256):
+    store = DataNode(0)
+    rng = np.random.default_rng(5)
+    for index in range(blocks):
+        data = rng.integers(0, 256, size=size, dtype=np.uint8)
+        store.put(BlockId("f", 0, index), data)
+    return store
+
+
+class TestFaultArm:
+    def test_slow_applies_delay_after_kth_request(self):
+        arm = FaultArm(_loaded_store(), seed=0)
+        arm.arm([Fault(action="slow", target=0, on_request=2,
+                       delay=0.15)])
+        start = time.perf_counter()
+        arm.before_request("get", {})
+        assert time.perf_counter() - start < 0.1     # 1st request: free
+        start = time.perf_counter()
+        arm.before_request("get", {})
+        assert time.perf_counter() - start >= 0.15   # 2nd: slowed
+
+    def test_slow_duration_expires(self):
+        arm = FaultArm(_loaded_store(), seed=0)
+        arm.arm([Fault(action="slow", target=0, on_request=1,
+                       delay=0.05, duration=0.2)])
+        arm.before_request("get", {})
+        time.sleep(0.3)
+        start = time.perf_counter()
+        arm.before_request("get", {})
+        assert time.perf_counter() - start < 0.04    # back to full speed
+
+    def test_control_path_requests_never_trigger(self):
+        arm = FaultArm(_loaded_store(), seed=0)
+        arm.arm([Fault(action="slow", target=0, on_request=1, delay=0.2)])
+        start = time.perf_counter()
+        arm.before_request("status", {})
+        arm.before_request("fault", {})
+        assert time.perf_counter() - start < 0.1
+        assert arm.snapshot()["pending"]             # still armed
+
+    def test_hang_blocks_requests_and_reports(self):
+        arm = FaultArm(_loaded_store(), seed=0)
+        arm.arm([Fault(action="hang", target=0, on_request=1)])
+        blocked = threading.Thread(
+            target=arm.before_request, args=("get", {}), daemon=True)
+        blocked.start()
+        blocked.join(timeout=0.5)
+        assert blocked.is_alive()                    # never answers again
+        assert arm.hung
+
+    def test_corrupt_is_deterministic_and_checksum_detectable(self):
+        damaged = []
+        for _ in range(2):
+            store = _loaded_store()
+            arm = FaultArm(store, seed=21)
+            arm.arm([Fault(action="corrupt", target=0, on_request=1)])
+            arm.before_request("get", {})
+            bad = [block for block in store.block_ids()
+                   if store.current_checksum(block)
+                   != store.checksum(block)]
+            assert len(bad) == 1                     # exactly one block hit
+            with pytest.raises(CorruptBlockError):
+                store.get(bad[0], verify=True)
+            damaged.append(bad[0])
+        assert damaged[0] == damaged[1]              # same seed, same block
+
+
+class TestChecksumSubstrate:
+    """Satellite: MiniHDFS verifies per-block CRCs on read and degrades
+    past silent corruption instead of serving garbage."""
+
+    def test_block_checksum_matches_store(self):
+        store = DataNode(3)
+        data = np.arange(64, dtype=np.uint8)
+        crc = store.put(BlockId("f", 0, 0), data)
+        assert crc == block_checksum(data)
+        assert store.checksum(BlockId("f", 0, 0)) == crc
+        assert store.current_checksum(BlockId("f", 0, 0)) == crc
+
+    def test_corrupt_keeps_recorded_checksum(self):
+        store = DataNode(3)
+        block = BlockId("f", 0, 0)
+        recorded = store.put(block, np.arange(64, dtype=np.uint8))
+        store.corrupt(block, offset=5)
+        assert store.checksum(block) == recorded             # lie intact
+        assert store.current_checksum(block) != recorded     # rot visible
+        with pytest.raises(CorruptBlockError) as excinfo:
+            store.get(block, verify=True)
+        assert excinfo.value.node_id == 3
+        assert excinfo.value.block == block
+
+    def test_minihdfs_read_degrades_past_corruption(self):
+        fs = MiniHDFS(ClusterTopology.flat(6), block_bytes=512, seed=4)
+        data = bytes(np.random.default_rng(1).integers(
+            0, 256, size=9 * 512 * 2, dtype=np.uint8))
+        fs.write_file("f", data, "pentagon")
+        # Rot one replica of one block on-disk, checksum preserved.
+        stripe = fs.namenode.file("f").stripes[0]
+        block = stripe.block_id(0)
+        victim = stripe.slot_nodes[stripe.code.layout.symbols[0]
+                                   .replicas[0]]
+        fs.datanodes[victim].corrupt(block, offset=17)
+        assert fs.read_file("f") == data                     # degraded, right
+        assert fs.read_block(block) == data[:512]
+
+    def test_minihdfs_raises_when_all_copies_corrupt(self):
+        fs = MiniHDFS(ClusterTopology.flat(3), block_bytes=256, seed=4)
+        data = b"x" * 256
+        fs.write_file("f", data, "3-rep")
+        stripe = fs.namenode.file("f").stripes[0]
+        block = stripe.block_id(0)
+        for slot in stripe.code.layout.symbols[0].replicas:
+            fs.datanodes[stripe.slot_nodes[slot]].corrupt(block)
+        with pytest.raises(UnrecoverableStripeError):
+            fs.read_file("f")
