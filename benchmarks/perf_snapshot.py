@@ -20,6 +20,15 @@ repetitions; throughputs are MB/s over the stripe's data payload.
 ``--sections`` limits the run, e.g. ``--sections service`` writes a
 snapshot with only the storage-service numbers (pair it with
 ``--tag service``).
+
+``--backend`` forces one GF kernel backend (``native``/``numpy``/
+``scalar``) for the whole run — A/B snapshots without env-var
+juggling.  Without it the ``core`` section compares backends itself:
+each ``encode_mb_s``/``decode_mb_s`` row carries one throughput per
+available backend plus ``speedup`` (native over numpy) and a
+``bit_identical`` flag asserting the compared outputs matched byte for
+byte; the other sections run on the session's active backend, recorded
+in the top-level ``gf_backend`` block.
 """
 
 from __future__ import annotations
@@ -39,6 +48,8 @@ import numpy as np
 
 from repro.core import make_code
 from repro.experiments import fig3, fig5
+from repro.gf import kernels as gf_kernels
+from repro.gf import native as gf_native
 from repro.reliability import (
     ReliabilityParams,
     recoverable_mask_table,
@@ -72,6 +83,11 @@ def snapshot(sections: tuple[str, ...] = SECTIONS) -> dict:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "block_bytes": BLOCK_BYTES,
+        "gf_backend": {
+            "requested": gf_kernels.requested_backend(),
+            "active": gf_kernels.active_backend(),
+            "simd": gf_native.simd_active(),
+        },
     }
     if "core" in sections:
         record.update(core_benchmark())
@@ -86,28 +102,67 @@ def snapshot(sections: tuple[str, ...] = SECTIONS) -> dict:
     return record
 
 
+def _core_backends() -> list[str]:
+    """Backends the core section measures (order: baseline first)."""
+    requested = gf_kernels.requested_backend()
+    if requested != "auto":
+        return [requested]
+    if gf_kernels.native_available():
+        return ["numpy", "native"]
+    return ["numpy"]
+
+
 def core_benchmark() -> dict:
     rng = np.random.default_rng(0)
+    backends = _core_backends()
     record: dict = {
         "encode_mb_s": {},
         "decode_mb_s": {},
         "simulate_group_mttd_s": {},
         "fault_tolerance_s": {},
     }
-    for name in ENCODE_CODES:
-        code = make_code(name)
-        data = [rng.integers(0, 256, BLOCK_BYTES, dtype=np.uint8)
-                for _ in range(code.k)]
-        payload_mb = code.k * BLOCK_BYTES / 2**20
-        encoded = code.encode(data)          # warm packed tables
-        seconds = median_seconds(lambda: code.encode(data))
-        record["encode_mb_s"][name] = round(payload_mb / seconds, 1)
-        failed = set(range(code.fault_tolerance))
-        available = {i: encoded[i]
-                     for i in code.layout.surviving_symbols(failed)}
-        code.decode_data(available)          # warm the decode kernel
-        seconds = median_seconds(lambda: code.decode_data(available))
-        record["decode_mb_s"][name] = round(payload_mb / seconds, 1)
+    restore = gf_kernels.requested_backend()
+    try:
+        for name in ENCODE_CODES:
+            code = make_code(name)
+            data = [rng.integers(0, 256, BLOCK_BYTES, dtype=np.uint8)
+                    for _ in range(code.k)]
+            payload_mb = code.k * BLOCK_BYTES / 2**20
+            encode_row: dict = {}
+            decode_row: dict = {}
+            encoded_by: dict[str, list] = {}
+            decoded_by: dict[str, list] = {}
+            for backend in backends:
+                gf_kernels.set_backend(backend)
+                encoded = code.encode(data)      # warm packed tables
+                encoded_by[backend] = encoded
+                seconds = median_seconds(lambda: code.encode(data))
+                encode_row[backend] = round(payload_mb / seconds, 1)
+            failed = set(range(code.fault_tolerance))
+            reference = encoded_by[backends[0]]
+            available = {i: reference[i]
+                         for i in code.layout.surviving_symbols(failed)}
+            for backend in backends:
+                gf_kernels.set_backend(backend)
+                decoded_by[backend] = code.decode_data(available)  # warm
+                seconds = median_seconds(lambda: code.decode_data(available))
+                decode_row[backend] = round(payload_mb / seconds, 1)
+            if len(backends) > 1:
+                base, test = backends[0], backends[-1]
+                encode_row["speedup"] = round(
+                    encode_row[test] / encode_row[base], 2)
+                decode_row["speedup"] = round(
+                    decode_row[test] / decode_row[base], 2)
+                encode_row["bit_identical"] = all(
+                    np.array_equal(a, b) for a, b in
+                    zip(encoded_by[base], encoded_by[test]))
+                decode_row["bit_identical"] = all(
+                    np.array_equal(a, b) for a, b in
+                    zip(decoded_by[base], decoded_by[test]))
+            record["encode_mb_s"][name] = encode_row
+            record["decode_mb_s"][name] = decode_row
+    finally:
+        gf_kernels.set_backend(None if restore == "auto" else restore)
     for name in SIM_CODES:
         code = make_code(name)
         simulate_group_mttd(code, FAST, np.random.default_rng(0), trials=50)
@@ -140,8 +195,17 @@ def mask_enum_benchmark(workers: int = 2, repeats: int = 5) -> dict:
     of repeated enumerations (validation + chain build in one session).
     The merged tables are bit-identical by construction; the snapshot
     records that too.
+
+    The sharded legs pass ``serial_below=0`` to keep measuring the
+    fan-out machinery itself: production callers that just say
+    ``workers=N`` auto-serialise below
+    :data:`~repro.reliability.mask_enum.AUTO_SERIAL_MASKS` masks (the
+    fix for the ``speedup_cold=0.06`` cold-start regression this
+    section recorded), and each row's ``auto_serial`` flag says
+    whether that heuristic would have kicked in.
     """
     from repro.experiments.engine import shutdown_pools
+    from repro.reliability.mask_enum import AUTO_SERIAL_MASKS
 
     out: dict = {"workers": workers}
     for label, name in (("pentagon_local_3g_2p16", "pentagon-local(3g,2p)"),
@@ -157,16 +221,18 @@ def mask_enum_benchmark(workers: int = 2, repeats: int = 5) -> dict:
             shutdown_pools()    # cold shard caches + pool start-up cost
             code = make_code(name)
             start = time.perf_counter()
-            sharded = recoverable_mask_table(code, workers=workers)
+            sharded = recoverable_mask_table(code, workers=workers,
+                                             serial_below=0)
             cold_times.append(time.perf_counter() - start)
             code = make_code(name)
             start = time.perf_counter()
-            recoverable_mask_table(code, workers=workers)
+            recoverable_mask_table(code, workers=workers, serial_below=0)
             warm_times.append(time.perf_counter() - start)
         one = statistics.median(serial_times)
         cold = statistics.median(cold_times)
         out[label] = {
             "masks": 1 << make_code(name).length,
+            "auto_serial": (1 << make_code(name).length) < AUTO_SERIAL_MASKS,
             "workers_1": round(one, 3),
             f"workers_{workers}_cold": round(cold, 3),
             f"workers_{workers}_repeat_warm": round(
@@ -357,7 +423,14 @@ def main(argv: list[str] | None = None) -> pathlib.Path:
     parser.add_argument("--sections", nargs="+", choices=SECTIONS,
                         default=list(SECTIONS),
                         help="which snapshot sections to run")
+    parser.add_argument("--backend", choices=gf_kernels.BACKEND_NAMES,
+                        default=None,
+                        help="force one GF kernel backend for the whole "
+                             "run (default: auto-compare in the core "
+                             "section)")
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        gf_kernels.set_backend(args.backend)
     RESULTS_DIR.mkdir(exist_ok=True)
     record = snapshot(tuple(args.sections))
     suffix = f"_{args.tag}" if args.tag else ""

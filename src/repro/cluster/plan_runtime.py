@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.repair import ReadPlan, RepairPlan, TransferKind
-from ..gf import GF256
+from ..gf import linear_combine
 from .datanode import DataNode
 from .namenode import StripeInfo
 from .network import NetworkLedger
@@ -41,14 +41,11 @@ def _transfer_payload(stripe: StripeInfo, transfer, datanodes: list[DataNode],
             f"plan reads from failed node {node_id}"
         )
     store = datanodes[node_id]
-    payload: np.ndarray | None = None
-    for symbol, coefficient in zip(transfer.symbols_read, transfer.coefficients):
-        data = store.get(stripe.block_id(symbol))
-        contribution = GF256.scale(data, coefficient)
-        payload = contribution if payload is None else GF256.add(payload, contribution)
-    if payload is None:
+    buffers = [store.get(stripe.block_id(symbol))
+               for symbol in transfer.symbols_read]
+    if not buffers:
         raise ClusterExecutionError("transfer reads no symbols")
-    return payload
+    return linear_combine(transfer.coefficients, buffers)
 
 
 def run_repair_plan(stripe: StripeInfo, plan: RepairPlan,
@@ -88,9 +85,10 @@ def run_repair_plan(stripe: StripeInfo, plan: RepairPlan,
             if step.produces_symbol in produced:
                 continue
             if max(step.payload_indices, default=-1) < len(payloads):
-                value = np.zeros_like(payloads[0])
-                for index, coefficient in zip(step.payload_indices, step.coefficients):
-                    GF256.axpy(value, coefficient, payloads[index])
+                value = linear_combine(
+                    step.coefficients,
+                    [payloads[index] for index in step.payload_indices],
+                    length=len(payloads[0]))
                 produced[step.produces_symbol] = value
                 recovered[step.produces_symbol] = value
     for step in plan.decode_steps:
@@ -124,8 +122,8 @@ def run_read_plan(stripe: StripeInfo, plan: ReadPlan,
             return payload
     for step in plan.decode_steps:
         if step.produces_symbol == plan.symbol:
-            value = np.zeros_like(payloads[0])
-            for index, coefficient in zip(step.payload_indices, step.coefficients):
-                GF256.axpy(value, coefficient, payloads[index])
-            return value
+            return linear_combine(
+                step.coefficients,
+                [payloads[index] for index in step.payload_indices],
+                length=len(payloads[0]))
     raise ClusterExecutionError("read plan never produced the requested symbol")

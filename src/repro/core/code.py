@@ -39,6 +39,7 @@ from ..gf import (
     SingularMatrixError,
     independent_rows,
     invert,
+    linear_combine,
     matrix_rank,
     solve,
 )
@@ -149,13 +150,15 @@ class Code(ABC):
 
     def _assemble_symbols(self, buffers: list[np.ndarray],
                           parity) -> list[np.ndarray]:
-        """Interleave data-buffer copies and parity rows in symbol order."""
+        """Interleave data-buffer views and parity rows in symbol order."""
         encoded: list[np.ndarray] = []
         data_columns = iter(self._data_columns)
         parity_rows = iter(parity) if parity is not None else None
         for symbol in self.layout.symbols:
             if symbol.kind is SymbolKind.DATA:
-                encoded.append(buffers[next(data_columns)].copy())
+                view = buffers[next(data_columns)].view()
+                view.flags.writeable = False
+                encoded.append(view)
             else:
                 encoded.append(next(parity_rows))
         return encoded
@@ -163,10 +166,15 @@ class Code(ABC):
     def encode(self, data_blocks) -> list[np.ndarray]:
         """Encode ``k`` data buffers into one buffer per distinct symbol.
 
-        All buffers must share one length.  Data symbols are returned as
-        copies so callers may mutate them independently.  All parity
-        symbols are produced by one pass through the cached
-        matrix-batched kernel (bit-identical to the scalar reference).
+        All buffers must share one length.  Data symbols are returned
+        as **read-only zero-copy views** of the caller's buffers (the
+        :meth:`repro.gf.GF256.asarray` contract): with fast parity
+        kernels the old defensive copies were the single largest cost
+        of a wide stripe's encode, and every storage layer in this repo
+        copies on ingest anyway.  Copy before mutating either side.
+        All parity symbols are fresh, independently mutable arrays
+        produced by one pass through the cached matrix-batched kernel
+        (bit-identical to the scalar reference).
         """
         buffers, block_size = self._checked_buffers(data_blocks)
         parity = (self._parity_kernel.apply(buffers, block_size)
@@ -256,7 +264,7 @@ class Code(ABC):
         """Reconstruct one coded symbol from surviving symbol buffers."""
         data = self.decode_data(available)
         coefficients = self.layout.symbols[symbol_index].coefficients
-        return GF256.combine(coefficients, data, length=len(data[0]))
+        return linear_combine(coefficients, data, length=len(data[0]))
 
     # ------------------------------------------------------------------
     # Failure analysis (the shared decodability engine)

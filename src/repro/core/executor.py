@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..gf import GF256
+from ..gf import GF256, linear_combine
 from .code import Code
 from .repair import ReadPlan, RepairPlan, TransferKind
 
@@ -37,17 +37,15 @@ def _source_payload(code: Code, blocks: list[np.ndarray], transfer,
             f"transfer sources from failed or undefined slot {transfer.source_slot}"
         )
     held = set(layout.symbols_on_slot(transfer.source_slot))
-    payload: np.ndarray | None = None
-    for symbol, coefficient in zip(transfer.symbols_read, transfer.coefficients):
+    for symbol in transfer.symbols_read:
         if symbol not in held:
             raise PlanExecutionError(
                 f"slot {transfer.source_slot} does not hold symbol {symbol}"
             )
-        contribution = GF256.scale(blocks[symbol], coefficient)
-        payload = contribution if payload is None else GF256.add(payload, contribution)
-    if payload is None:
+    if not transfer.symbols_read:
         raise PlanExecutionError("transfer reads no symbols")
-    return payload
+    return linear_combine(transfer.coefficients,
+                          [blocks[symbol] for symbol in transfer.symbols_read])
 
 
 def execute_repair_plan(code: Code, blocks: list[np.ndarray],
@@ -75,9 +73,10 @@ def execute_repair_plan(code: Code, blocks: list[np.ndarray],
             if step.produces_symbol in produced:
                 continue
             if max(step.payload_indices, default=-1) < len(payloads):
-                value = np.zeros_like(payloads[0])
-                for index, coefficient in zip(step.payload_indices, step.coefficients):
-                    GF256.axpy(value, coefficient, payloads[index])
+                value = linear_combine(
+                    step.coefficients,
+                    [payloads[index] for index in step.payload_indices],
+                    length=len(payloads[0]))
                 produced[step.produces_symbol] = value
                 recovered[step.produces_symbol] = value
     for step in plan.decode_steps:
@@ -120,8 +119,8 @@ def execute_read_plan(code: Code, blocks: list[np.ndarray], plan: ReadPlan,
             return payloads[-1]
     for step in plan.decode_steps:
         if step.produces_symbol == plan.symbol:
-            value = np.zeros_like(payloads[0])
-            for index, coefficient in zip(step.payload_indices, step.coefficients):
-                GF256.axpy(value, coefficient, payloads[index])
-            return value
+            return linear_combine(
+                step.coefficients,
+                [payloads[index] for index in step.payload_indices],
+                length=len(payloads[0]))
     raise PlanExecutionError("read plan never produced the requested symbol")

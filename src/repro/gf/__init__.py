@@ -6,7 +6,19 @@ scheme in :mod:`repro.core`.
 """
 
 from .field import GF256, gf_add, gf_div, gf_inv, gf_mul, gf_pow, gf_sub
-from .kernels import PACKED_MIN_BYTES, BatchedLinearMap
+from .kernels import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    NATIVE_MIN_BYTES,
+    PACKED_MIN_BYTES,
+    BatchedLinearMap,
+    active_backend,
+    linear_combine,
+    native_available,
+    native_error,
+    requested_backend,
+    set_backend,
+)
 from .linalg import (
     SingularMatrixError,
     cauchy,
@@ -25,6 +37,15 @@ __all__ = [
     "GF256",
     "BatchedLinearMap",
     "PACKED_MIN_BYTES",
+    "NATIVE_MIN_BYTES",
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "linear_combine",
+    "set_backend",
+    "requested_backend",
+    "active_backend",
+    "native_available",
+    "native_error",
     "gf_add",
     "gf_sub",
     "gf_mul",

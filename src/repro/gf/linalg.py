@@ -175,13 +175,17 @@ def matmul(a, b) -> np.ndarray:
     per-row/per-coefficient loop this replaces.  Wide right-hand sides
     (block-buffer stacks) route through the packed-table
     :class:`~repro.gf.kernels.BatchedLinearMap` engine, which also
-    backs :meth:`repro.core.Code.encode`.
+    backs :meth:`repro.core.Code.encode` — from
+    :func:`~repro.gf.kernels.packed_threshold` bytes up, so the native
+    backend's much lower amortisation floor is honoured automatically.
     """
+    from .kernels import packed_threshold
+
     left = np.asarray(a, dtype=np.uint8)
     right = np.asarray(b, dtype=np.uint8)
     if left.ndim != 2 or right.ndim != 2 or left.shape[1] != right.shape[0]:
         raise ValueError("incompatible shapes for GF matmul")
-    if right.shape[1] >= 1 << 16:
+    if right.shape[1] >= packed_threshold():
         return _cached_kernel(left).apply(list(right))
     out = np.zeros((left.shape[0], right.shape[1]), dtype=np.uint8)
     for j in range(left.shape[1]):

@@ -9,6 +9,7 @@ validate the hand-derived state spaces.
 
 from .markov import HOURS_PER_YEAR, MarkovChain, hours_to_years, years_to_hours
 from .mask_enum import (
+    AUTO_SERIAL_MASKS,
     MAX_EXACT_LENGTH,
     mask_shard_bits,
     recoverable_mask_table,
@@ -70,6 +71,7 @@ __all__ = [
     "brute_force_chain",
     "group_chain",
     "initial_state",
+    "AUTO_SERIAL_MASKS",
     "MAX_EXACT_LENGTH",
     "recoverable_mask_table",
     "mask_shard_bits",

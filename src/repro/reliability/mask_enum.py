@@ -56,6 +56,18 @@ MIN_SHARD_MASKS = 1 << 10
 #: Target shard count for long codes (bounds scheduling overhead).
 _MAX_SHARDS = 256
 
+#: Below this many masks a *worker-count* request runs serially even
+#: when the count is > 1: a 2**15 enumeration is ~0.02 s of rank tests
+#: while a cold process pool costs ~0.25 s to spin up, a measured 16x
+#: cold-start regression for ``heptagon_local_2p15``
+#: (``speedup_cold=0.06`` in ``results/BENCH_2026-07-27_families.json``).
+#: 2**16 is the first size where the fan-out has ever measured at or
+#: past breakeven on the reference container.  Explicit
+#: :class:`~repro.experiments.engine.Executor` instances (socket
+#: coordinators, pre-warmed pools) bypass the heuristic — the caller
+#: already paid the start-up cost — as does ``serial_below=0``.
+AUTO_SERIAL_MASKS = 1 << 16
+
 
 def check_enumerable(code: Code) -> None:
     """Raise a :class:`ValueError` naming ``code`` when it is too long.
@@ -130,7 +142,8 @@ def _unpack_shards(shards: list[tuple[int, int]], payloads: list[bytes],
 
 
 def recoverable_mask_table(code: Code, workers=None, *, executor=None,
-                           shard_masks: int | None = None) -> np.ndarray:
+                           shard_masks: int | None = None,
+                           serial_below: int | None = None) -> np.ndarray:
     """The full ``(2**length,)`` recoverability table of ``code``.
 
     ``workers`` / ``executor`` follow the
@@ -140,6 +153,13 @@ def recoverable_mask_table(code: Code, workers=None, *, executor=None,
     socket coordinator).  Serial runs stay in-process; fanned-out runs
     shard the range over the engine.  The merged table is bit-identical
     whichever path ran it.
+
+    Worker-count requests for enumerations smaller than
+    ``serial_below`` masks (default :data:`AUTO_SERIAL_MASKS`) run
+    serially regardless of the count — pool spin-up dwarfs the work at
+    those sizes.  Pass ``serial_below=0`` to force sharding (the
+    benchmark does, to measure the machinery itself), or hand in a
+    live ``Executor``, which is always honoured.
     """
     check_enumerable(code)
     # Engine import is deferred: repro.experiments imports
@@ -148,8 +168,10 @@ def recoverable_mask_table(code: Code, workers=None, *, executor=None,
     from ..experiments.engine import Cell, Executor, resolve_workers, run_cells
 
     total = 1 << code.length
+    if serial_below is None:
+        serial_below = AUTO_SERIAL_MASKS
     if executor is None and not isinstance(workers, Executor):
-        if resolve_workers(workers) == 1:
+        if resolve_workers(workers) == 1 or total < serial_below:
             return code.mask_range_verdicts(0, total)
     try:
         rebuilt = make_code(code.name)

@@ -27,7 +27,7 @@ import time
 import numpy as np
 
 from ..cluster.datanode import DataNode
-from ..gf import GF256
+from ..gf import linear_combine
 from ..net import ProtocolError, backoff_delay, recv_frame, send_frame
 from .faults import FaultArm
 from .protocol import SERVICE_VERSION, block_from_tuple, unmarshal_error
@@ -144,16 +144,18 @@ class DataNodeServer:
 
     def _combine(self, parts) -> np.ndarray:
         """GF-combine locally held blocks: the partial-parity hot path."""
-        payload: np.ndarray | None = None
+        coefficients: list[int] = []
+        buffers: list[np.ndarray] = []
         with self._store_lock:
             for entry, coefficient in parts:
-                data = self.store.get(block_from_tuple(entry), verify=True)
-                contribution = GF256.scale(data, int(coefficient))
-                payload = (contribution if payload is None
-                           else GF256.add(payload, contribution))
-        if payload is None:
-            raise ProtocolError("combine of zero blocks")
-        return payload
+                coefficients.append(int(coefficient))
+                buffers.append(
+                    self.store.get(block_from_tuple(entry), verify=True))
+            if not buffers:
+                raise ProtocolError("combine of zero blocks")
+            # One fused backend-routed pass instead of a scale+add chain
+            # (still under the lock: stored arrays are live references).
+            return linear_combine(coefficients, buffers)
 
     def _checksums(self, entries) -> dict:
         """Current CRCs (recomputed — what a disk scrub would see)."""

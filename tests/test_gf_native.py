@@ -1,0 +1,331 @@
+"""Native GF(2^8) backend: selection seam, bit-identity, fallback.
+
+The native C kernels must change *nothing* observable except wall
+time.  This suite fuzzes bit-identity between the ``native``,
+``numpy`` and ``scalar`` backends across odd block sizes, unaligned
+and non-contiguous buffers, and every registry-constructible code;
+pins down the backend-selection contract (``REPRO_GF_BACKEND``,
+:func:`set_backend`, warn-once degradation when native is requested
+but unavailable); and covers the satellite fixes that ride along
+(bounded thread-local scratch, the fused :func:`linear_combine`
+drop-in).
+
+Everything here passes on a host with no C compiler: tests that need
+the built library are skipped, and the rest exercise exactly the
+degraded path such a host runs.
+"""
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_code
+from repro.core.registry import available_codes
+from repro.gf import (
+    BACKEND_ENV,
+    GF256,
+    NATIVE_MIN_BYTES,
+    PACKED_MIN_BYTES,
+    BatchedLinearMap,
+    linear_combine,
+)
+from repro.gf import kernels, native
+
+NATIVE = native.load() is not None
+needs_native = pytest.mark.skipif(
+    not NATIVE, reason=f"native GF kernels unavailable: {native.error()}")
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    yield
+    kernels.set_backend(None)
+
+
+def random_case(seed, m, k, size):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, 256, (m, k), dtype=np.uint8)
+    buffers = [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(k)]
+    return rows, buffers
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="bogus"):
+            kernels.set_backend("bogus")
+        with pytest.raises(ValueError):
+            BatchedLinearMap([[1]], backend="bogus")
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "scalar")
+        assert kernels.requested_backend() == "scalar"
+        assert kernels.active_backend() == "scalar"
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert kernels.active_backend() == "numpy"
+
+    def test_invalid_env_var_is_loud(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "turbo")
+        with pytest.raises(ValueError, match="turbo"):
+            kernels.requested_backend()
+
+    def test_set_backend_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "scalar")
+        kernels.set_backend("numpy")
+        assert kernels.active_backend() == "numpy"
+        kernels.set_backend(None)
+        assert kernels.active_backend() == "scalar"
+
+    @needs_native
+    def test_auto_resolves_to_native_when_available(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert kernels.requested_backend() == "auto"
+        assert kernels.active_backend() == "native"
+
+    def test_packed_threshold_follows_backend(self):
+        kernels.set_backend("numpy")
+        assert kernels.packed_threshold() == PACKED_MIN_BYTES
+        if NATIVE:
+            kernels.set_backend("native")
+            assert kernels.packed_threshold() == NATIVE_MIN_BYTES
+
+
+class TestFallback:
+    def test_native_request_degrades_with_one_warning(self, monkeypatch):
+        monkeypatch.setattr(native, "_load_uncached",
+                            lambda: (None, "no compiler (simulated)"))
+        native.reset()
+        monkeypatch.setattr(kernels, "_FALLBACK_WARNED", False)
+        try:
+            kernels.set_backend("native")
+            with pytest.warns(RuntimeWarning, match="no compiler"):
+                assert kernels.active_backend() == "numpy"
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")       # second call: silent
+                assert kernels.active_backend() == "numpy"
+            assert kernels.native_available() is False
+            assert "simulated" in kernels.native_error()
+        finally:
+            native.reset()
+
+    def test_auto_degrades_silently(self, monkeypatch):
+        monkeypatch.setattr(native, "_load_uncached",
+                            lambda: (None, "no compiler (simulated)"))
+        native.reset()
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert kernels.active_backend() == "numpy"
+        finally:
+            native.reset()
+
+    def test_kernels_stay_correct_without_native(self, monkeypatch):
+        """A pinned-native kernel on a compilerless host still computes."""
+        monkeypatch.setattr(native, "_load_uncached",
+                            lambda: (None, "no compiler (simulated)"))
+        native.reset()
+        try:
+            rows, buffers = random_case(1, 3, 4, NATIVE_MIN_BYTES + 1)
+            pinned = BatchedLinearMap(rows, backend="native").apply(buffers)
+            scalar = BatchedLinearMap(rows, backend="scalar").apply(buffers)
+            assert np.array_equal(pinned, scalar)
+            combined = linear_combine(rows[0], buffers)
+            assert np.array_equal(combined,
+                                  GF256.combine(rows[0], buffers))
+        finally:
+            native.reset()
+
+    @needs_native
+    def test_cache_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        native.reset()
+        try:
+            assert native.load() is not None
+            assert list(tmp_path.glob("repro_gf_native_*.so"))
+        finally:
+            monkeypatch.delenv("REPRO_NATIVE_CACHE")
+            native.reset()
+
+
+class TestBitIdentityFuzz:
+    """native == numpy == scalar, byte for byte, on adversarial shapes."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1),
+           m=st.integers(1, 6), k=st.integers(1, 6),
+           size=st.integers(NATIVE_MIN_BYTES - 2, NATIVE_MIN_BYTES + 66))
+    def test_backends_agree_around_native_floor(self, seed, m, k, size):
+        rows, buffers = random_case(seed, m, k, size)
+        outputs = {
+            backend: BatchedLinearMap(rows, backend=backend).apply(buffers)
+            for backend in ("scalar", "numpy", "native")
+        }
+        assert np.array_equal(outputs["numpy"], outputs["scalar"])
+        assert np.array_equal(outputs["native"], outputs["scalar"])
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1),
+           size=st.integers(PACKED_MIN_BYTES, PACKED_MIN_BYTES + 3))
+    def test_backends_agree_on_numpy_packed_sizes(self, seed, size):
+        rows, buffers = random_case(seed, 5, 4, size)
+        outputs = {
+            backend: BatchedLinearMap(rows, backend=backend).apply(buffers)
+            for backend in ("scalar", "numpy", "native")
+        }
+        assert np.array_equal(outputs["numpy"], outputs["scalar"])
+        assert np.array_equal(outputs["native"], outputs["scalar"])
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), offset=st.integers(0, 3),
+           stride=st.integers(2, 3))
+    def test_unaligned_and_noncontiguous_buffers(self, seed, offset, stride):
+        size = NATIVE_MIN_BYTES + 7
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, 256, (3, 3), dtype=np.uint8)
+        backing = rng.integers(0, 256, (3, stride * size + offset),
+                               dtype=np.uint8)
+        buffers = [backing[i, offset:offset + stride * size:stride]
+                   for i in range(3)]
+        assert not buffers[0].flags.c_contiguous
+        outputs = {
+            backend: BatchedLinearMap(rows, backend=backend).apply(buffers)
+            for backend in ("scalar", "numpy", "native")
+        }
+        assert np.array_equal(outputs["numpy"], outputs["scalar"])
+        assert np.array_equal(outputs["native"], outputs["scalar"])
+
+    def test_read_only_input_views(self):
+        rows, buffers = random_case(3, 2, 3, NATIVE_MIN_BYTES)
+        frozen = [GF256.asarray(buffer.tobytes()) for buffer in buffers]
+        assert not frozen[0].flags.writeable
+        for backend in ("numpy", "native"):
+            assert np.array_equal(
+                BatchedLinearMap(rows, backend=backend).apply(frozen),
+                BatchedLinearMap(rows, backend="scalar").apply(buffers))
+
+
+class TestRegistryCodesAcrossBackends:
+    @pytest.mark.parametrize("code_name", available_codes())
+    def test_encode_decode_bit_identical(self, code_name):
+        code = make_code(code_name)
+        rng = np.random.default_rng(17)
+        size = NATIVE_MIN_BYTES + 1                 # odd, native-eligible
+        data = [rng.integers(0, 256, size, dtype=np.uint8)
+                for _ in range(code.k)]
+        encoded_by = {}
+        decoded_by = {}
+        for backend in ("scalar", "numpy", "native"):
+            kernels.set_backend(backend)
+            encoded = code.encode(data)
+            failed = set(range(code.fault_tolerance))
+            available = {i: encoded[i]
+                         for i in code.layout.surviving_symbols(failed)}
+            encoded_by[backend] = encoded
+            decoded_by[backend] = code.decode_data(available)
+        for backend in ("numpy", "native"):
+            for a, b in zip(encoded_by[backend], encoded_by["scalar"]):
+                assert np.array_equal(a, b), f"{code_name} encode {backend}"
+            for a, b in zip(decoded_by[backend], decoded_by["scalar"]):
+                assert np.array_equal(a, b), f"{code_name} decode {backend}"
+        for expected, actual in zip(data, decoded_by["scalar"]):
+            assert np.array_equal(expected, actual)
+
+
+class TestLinearCombine:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), nparts=st.integers(1, 6),
+           length=st.integers(0, 300))
+    def test_matches_gf256_combine(self, seed, nparts, length):
+        rng = np.random.default_rng(seed)
+        coefficients = [int(c) for c in rng.integers(0, 256, nparts)]
+        buffers = [rng.integers(0, 256, length, dtype=np.uint8)
+                   for _ in range(nparts)]
+        got = linear_combine(coefficients, buffers)
+        want = GF256.combine(coefficients, buffers, length=length)
+        assert got.dtype == np.uint8
+        assert np.array_equal(got, want)
+
+    @needs_native
+    def test_large_blocks_on_native_backend(self):
+        kernels.set_backend("native")
+        rng = np.random.default_rng(23)
+        coefficients = [0, 1, 37, 255]
+        buffers = [rng.integers(0, 256, 1 << 17, dtype=np.uint8)
+                   for _ in range(4)]
+        assert np.array_equal(
+            linear_combine(coefficients, buffers),
+            GF256.combine(coefficients, buffers))
+
+    def test_all_zero_coefficients(self):
+        buffers = [np.ones(64, dtype=np.uint8)] * 2
+        assert not linear_combine([0, 0], buffers).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            linear_combine([1], [])
+        with pytest.raises(ValueError, match="length"):
+            linear_combine([1, 1], [np.zeros(4, np.uint8),
+                                    np.zeros(5, np.uint8)])
+        with pytest.raises(ValueError, match="empty"):
+            linear_combine([], [])
+        with pytest.raises(ValueError, match="element"):
+            linear_combine([256], [np.zeros(4, np.uint8)])
+        assert len(linear_combine([], [], length=9)) == 9
+
+
+class TestScratchCache:
+    def test_bounded_per_thread(self):
+        kernels._SCRATCH.pairs.clear()
+        for words in range(512, 512 + 3 * kernels._SCRATCH_LIMIT):
+            kernels._scratch_pair(np.uint32, words)
+        assert len(kernels._SCRATCH.pairs) <= kernels._SCRATCH_LIMIT
+
+    def test_thread_local_isolation(self):
+        mine = kernels._scratch_pair(np.uint64, 128)
+        other = {}
+
+        def worker():
+            other["pair"] = kernels._scratch_pair(np.uint64, 128)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert other["pair"][0] is not mine[0]
+
+    @pytest.mark.parametrize("backend", ["numpy", "native"])
+    def test_concurrent_apply_bit_identical(self, backend):
+        if backend == "native" and not NATIVE:
+            pytest.skip("native GF kernels unavailable")
+        rows, buffers = random_case(29, 4, 5, PACKED_MIN_BYTES)
+        kernel = BatchedLinearMap(rows, backend=backend)
+        expected = BatchedLinearMap(rows, backend="scalar").apply(buffers)
+        results = [None] * 8
+
+        def worker(slot):
+            results[slot] = kernel.apply(buffers)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(results))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for result in results:
+            assert np.array_equal(result, expected)
+
+
+@needs_native
+class TestNativeDiagnostics:
+    def test_simd_flag_is_bool(self):
+        assert isinstance(native.simd_active(), bool)
+
+    def test_abi_version_checked(self):
+        assert native.load().lib.repro_gf_native_abi() == native.ABI_VERSION
+
+    def test_error_is_none_when_loaded(self):
+        assert native.error() is None
+        assert kernels.native_error() is None

@@ -15,6 +15,7 @@ from repro.core import make_code
 from repro.experiments.distributed import DistributedExecutor
 from repro.experiments.engine import PooledExecutor
 from repro.reliability import (
+    AUTO_SERIAL_MASKS,
     MAX_EXACT_LENGTH,
     ReliabilityParams,
     brute_force_chain,
@@ -110,9 +111,11 @@ class TestExecutorBitIdentity:
     """workers=1, workers=N and distributed loopback must agree exactly."""
 
     def test_serial_vs_pooled(self):
+        # serial_below=0: heptagon-local's 2**15 masks sit under the
+        # auto-serial floor, and this test exists to exercise the pool.
         serial = recoverable_mask_table(make_code("heptagon-local"))
         pooled = recoverable_mask_table(make_code("heptagon-local"),
-                                        workers=2)
+                                        workers=2, serial_below=0)
         explicit = recoverable_mask_table(make_code("heptagon-local"),
                                           executor=PooledExecutor(2))
         assert (serial == pooled).all()
@@ -122,7 +125,8 @@ class TestExecutorBitIdentity:
         """A generic (no closed form) family: rank tests in workers."""
         serial = recoverable_mask_table(make_code("pentagon-local"))
         pooled = recoverable_mask_table(make_code("pentagon-local"),
-                                        workers=2, shard_masks=256)
+                                        workers=2, shard_masks=256,
+                                        serial_below=0)
         assert (serial == pooled).all()
 
     def test_distributed_loopback(self):
@@ -143,14 +147,72 @@ class TestExecutorBitIdentity:
         assert (serial == distributed).all()
 
     def test_sharded_brute_force_chain_matches_serial(self):
+        # An explicit executor: a bare workers=2 would auto-serialise
+        # at pentagon-local's 2**11 masks.
         code_serial = make_code("pentagon-local")
         code_pooled = make_code("pentagon-local")
         serial = brute_force_chain(code_serial, FAST)
-        pooled = brute_force_chain(code_pooled, FAST, workers=2)
+        pooled = brute_force_chain(code_pooled, FAST,
+                                   executor=PooledExecutor(2))
         assert set(serial.transitions) == set(pooled.transitions)
         for state in serial.transitions:
             assert sorted(serial.transitions[state], key=repr) \
                 == sorted(pooled.transitions[state], key=repr)
+
+
+class TestAutoSerial:
+    """Small enumerations must not pay pool spin-up for worker counts."""
+
+    def test_small_worker_count_request_stays_serial(self, monkeypatch):
+        import repro.experiments.engine as engine
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError(
+                "run_cells must not be reached below AUTO_SERIAL_MASKS")
+
+        monkeypatch.setattr(engine, "run_cells", forbidden)
+        code = make_code("heptagon-local")       # 2**15 masks
+        assert (1 << code.length) < AUTO_SERIAL_MASKS
+        table = recoverable_mask_table(code, workers=2)
+        expected = make_code("heptagon-local").mask_range_verdicts(
+            0, 1 << code.length)
+        assert (table == expected).all()
+
+    def test_serial_below_zero_forces_sharding(self, monkeypatch):
+        import repro.experiments.engine as engine
+
+        seen = {}
+        real = engine.run_cells
+
+        def spy(cells, workers=None, *, executor=None):
+            cells = list(cells)
+            seen["cells"] = len(cells)
+            return real(cells, 1)            # serial execution, same cells
+
+        monkeypatch.setattr(engine, "run_cells", spy)
+        code = make_code("pentagon-local")       # 2**11 masks
+        table = recoverable_mask_table(code, workers=2, shard_masks=256,
+                                       serial_below=0)
+        assert seen["cells"] == (1 << code.length) // 256
+        expected = make_code("pentagon-local").mask_range_verdicts(
+            0, 1 << code.length)
+        assert (table == expected).all()
+
+    def test_explicit_executor_always_honoured(self, monkeypatch):
+        import repro.experiments.engine as engine
+
+        seen = {}
+        real = engine.run_cells
+
+        def spy(cells, workers=None, *, executor=None):
+            seen["executor"] = executor
+            return real(cells, 1)
+
+        monkeypatch.setattr(engine, "run_cells", spy)
+        executor = PooledExecutor(2)
+        recoverable_mask_table(make_code("pentagon-local"),
+                               executor=executor)
+        assert seen["executor"] is executor
 
 
 class TestLengthWall:
