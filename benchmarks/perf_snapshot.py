@@ -416,6 +416,24 @@ def service_benchmark(datanodes: int = 6, duration: float = 5.0,
     return out
 
 
+def ensure_backend_matches() -> None:
+    """Refuse to run when the requested GF backend silently fell back.
+
+    A concrete backend request (``--backend`` or ``$REPRO_GF_BACKEND``)
+    that degrades would record e.g. numpy numbers labelled "native" in
+    the BENCH JSON; exit nonzero instead of writing a snapshot that
+    lies about its backend.
+    """
+    requested = gf_kernels.requested_backend()
+    active = gf_kernels.active_backend()
+    if requested != "auto" and active != requested:
+        reason = gf_kernels.native_error() or "backend unavailable"
+        print(f"error: gf backend {requested!r} requested but "
+              f"{active!r} is active ({reason}); refusing to record "
+              f"mislabelled numbers", file=sys.stderr)
+        raise SystemExit(3)
+
+
 def main(argv: list[str] | None = None) -> pathlib.Path:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tag", default="",
@@ -431,6 +449,7 @@ def main(argv: list[str] | None = None) -> pathlib.Path:
     args = parser.parse_args(argv)
     if args.backend is not None:
         gf_kernels.set_backend(args.backend)
+    ensure_backend_matches()
     RESULTS_DIR.mkdir(exist_ok=True)
     record = snapshot(tuple(args.sections))
     suffix = f"_{args.tag}" if args.tag else ""

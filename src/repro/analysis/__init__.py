@@ -1,0 +1,23 @@
+"""Invariant-aware static analysis for the repro codebase.
+
+``repro lint`` runs AST checkers that encode the invariants the rest
+of the system depends on — determinism by construction, picklability
+across the executor seam, service lock discipline, and a two-sided
+RPC surface.  See :mod:`repro.analysis.core` for the framework and
+the waiver syntax, ``docs/linting.md`` for the rule catalogue.
+"""
+
+from .core import (Checker, Finding, LintReport, Project, SourceFile,
+                   Waiver, register, registered_checkers, run_lint)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintReport",
+    "Project",
+    "SourceFile",
+    "Waiver",
+    "register",
+    "registered_checkers",
+    "run_lint",
+]

@@ -1,0 +1,281 @@
+"""Lock-discipline checker for the service daemons and the
+distributed executor.
+
+The storage service (PR 5) keeps its invariants with a small set of
+locks — ``NameNodeServer._meta`` (RLock over namespace + liveness),
+per-stripe locks from ``_stripe_lock(key)``, ``DataNodeServer._store_lock``,
+``FaultArm._lock`` — and the distributed executor serializes its state
+under a ``Condition`` (``DistributedExecutor._state``) and per-socket
+``send_lock``s.  Two classes of bug hide from tests here: a *blocking*
+call (socket I/O, RPC round-trip, sleep, subprocess wait) made while
+holding a lock turns one slow peer into a stalled daemon; and two
+functions acquiring the same pair of locks in opposite orders is a
+deadlock that needs the right interleaving to fire.
+
+Rules
+-----
+``locks.blocking-call``
+    A blocking operation while at least one lock is held.  The lock
+    set is tracked per function through ``with`` blocks; calls to
+    sibling methods that themselves block are the callee's findings.
+    ``cond.wait()`` / ``cond.wait_for()`` *on a held condition* is
+    exempt — a condition wait releases the lock; that is the pattern,
+    not a bug.
+``locks.lock-order``
+    Lock B acquired while holding lock A in one place, and A acquired
+    while holding B in another (direct nesting, or one level through
+    a sibling-method call).  Orders are compared by lock token across
+    all files in scope.
+
+Scope: ``service/`` and ``experiments/distributed.py``.  Nested
+functions defined inside a ``with`` block are analysed as running
+under that lock (in this codebase they are called there — e.g. the
+``fetch`` closure handed to the repair planner).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from .core import Checker, Finding, Project, SourceFile, dotted_name, register
+
+SCOPE_SEGMENTS = ("service/",)
+SCOPE_FILES = ("experiments/distributed.py",)
+
+#: Attribute calls that block (socket I/O, subprocess, sleeps, joins).
+BLOCKING_ATTRS = {"recv", "recv_into", "recv_frame", "send", "sendall",
+                  "send_frame", "accept", "connect", "makefile",
+                  "communicate", "check_call", "check_output", "sleep",
+                  "join", "wait", "wait_for"}
+
+#: Bare-name calls that block (module-level helpers).
+BLOCKING_NAMES = {"recv_frame", "send_frame", "create_connection",
+                  "call"}
+
+#: RPC helper methods — a full request/response round-trip.
+RPC_ATTRS = {"_nn_call", "_dn_call", "call"}
+
+
+def in_scope(rel: str) -> bool:
+    if any(segment in rel for segment in SCOPE_SEGMENTS):
+        return True
+    return any(rel.endswith(name) for name in SCOPE_FILES)
+
+
+def lock_token(expr: ast.AST) -> str | None:
+    """Canonical token for a with-item that acquires a lock.
+
+    ``self._meta`` -> ``"self._meta"``; ``self._stripe_lock(key)`` ->
+    ``"self._stripe_lock()"`` (all stripe locks are one class for
+    ordering purposes); a bare name containing ``lock`` -> the name.
+    """
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        attr = expr.attr
+        if attr in {"_meta", "_state"} or "lock" in attr.lower():
+            return f"{expr.value.id}.{attr}"
+        return None
+    if isinstance(expr, ast.Call):
+        name = dotted_name(expr.func)
+        if name.endswith("_lock") or name.endswith("_stripe_lock"):
+            return f"{name}()"
+        return None
+    if isinstance(expr, ast.Name) and "lock" in expr.id.lower():
+        return expr.id
+    return None
+
+
+def _blocking_reason(node: ast.Call) -> str | None:
+    """Why this call blocks, or ``None`` if it does not."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id in BLOCKING_NAMES:
+            return f"{func.id}() performs blocking I/O"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    base = dotted_name(func.value)
+    if attr in RPC_ATTRS:
+        return f".{attr}() is a full RPC round-trip"
+    if attr == "run" and base.endswith("subprocess"):
+        return "subprocess.run() waits on a child process"
+    if attr in BLOCKING_ATTRS:
+        # "".join(...) and friends: a str-literal receiver is not a
+        # thread/process join.
+        if attr == "join" and isinstance(func.value, ast.Constant):
+            return None
+        return f".{attr}() blocks"
+    return None
+
+
+class _MethodLocks(ast.NodeVisitor):
+    """method name -> lock tokens it acquires directly (for one-level
+    call propagation in the ordering analysis)."""
+
+    def __init__(self) -> None:
+        self.acquired: dict[str, set[str]] = {}
+        self._current: str | None = None
+
+    def _visit_def(self, node: ast.FunctionDef | ast.AsyncFunctionDef
+                   ) -> None:
+        outer = self._current
+        if outer is None:
+            self._current = node.name
+            self.acquired.setdefault(node.name, set())
+        self.generic_visit(node)
+        self._current = outer
+
+    visit_FunctionDef = _visit_def
+    visit_AsyncFunctionDef = _visit_def
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        if self._current is not None:
+            for item in node.items:
+                token = lock_token(item.context_expr)
+                if token is not None:
+                    self.acquired[self._current].add(token)
+        self.generic_visit(node)
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+
+class LockDisciplineChecker(Checker):
+    name = "locks"
+    rules = {
+        "locks.blocking-call":
+            "blocking call (socket I/O, RPC helper, sleep, subprocess "
+            "wait) while holding a lock; a slow peer stalls every "
+            "thread queued on it",
+        "locks.lock-order":
+            "lock pair acquired in opposite orders in different "
+            "functions; a deadlock waiting for the right interleaving",
+    }
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        # (A, B) -> first "B acquired while holding A" site.
+        order_pairs: dict[tuple[str, str], tuple[str, int]] = {}
+        findings: list[Finding] = []
+        for entry in project.files:
+            if entry.tree is None or not in_scope(entry.rel):
+                continue
+            methods = _MethodLocks()
+            methods.visit(entry.tree)
+            for node in ast.walk(entry.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._walk_function(entry, node, methods.acquired,
+                                        findings, order_pairs)
+        findings.extend(self._order_findings(order_pairs))
+        return findings
+
+    def _walk_function(self, entry: SourceFile, func: ast.AST,
+                       method_locks: dict[str, set[str]],
+                       findings: list[Finding],
+                       order_pairs: dict[tuple[str, str],
+                                         tuple[str, int]]) -> None:
+        body = getattr(func, "body", [])
+        for stmt in body:
+            self._walk(entry, stmt, (), method_locks, findings,
+                       order_pairs, top=True)
+
+    def _walk(self, entry: SourceFile, node: ast.AST,
+              held: tuple[str, ...],
+              method_locks: dict[str, set[str]],
+              findings: list[Finding],
+              order_pairs: dict[tuple[str, str], tuple[str, int]],
+              top: bool = False) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            tokens: list[str] = []
+            for item in node.items:
+                # the with-expression itself evaluates *before* the
+                # lock is held
+                self._walk(entry, item.context_expr, held, method_locks,
+                           findings, order_pairs)
+                token = lock_token(item.context_expr)
+                if token is not None:
+                    for prior in held + tuple(tokens):
+                        if prior != token:
+                            order_pairs.setdefault(
+                                (prior, token), (entry.rel, node.lineno))
+                    tokens.append(token)
+            inner = held + tuple(tokens)
+            for stmt in node.body:
+                self._walk(entry, stmt, inner, method_locks, findings,
+                           order_pairs)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)) and not top:
+            # Nested def: analysed under the locks of its definition
+            # site (in this codebase closures run where they are made).
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for stmt in body:
+                self._walk(entry, stmt, held, method_locks, findings,
+                           order_pairs)
+            return
+        if isinstance(node, ast.Call):
+            self._check_call(entry, node, held, method_locks, findings,
+                             order_pairs)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.With, ast.AsyncWith,
+                                  ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                self._walk(entry, child, held, method_locks, findings,
+                           order_pairs)
+            else:
+                self._walk(entry, child, held, method_locks, findings,
+                           order_pairs)
+
+    def _check_call(self, entry: SourceFile, node: ast.Call,
+                    held: tuple[str, ...],
+                    method_locks: dict[str, set[str]],
+                    findings: list[Finding],
+                    order_pairs: dict[tuple[str, str],
+                                      tuple[str, int]]) -> None:
+        func = node.func
+        # One-level ordering propagation: self.m() while holding A,
+        # where m directly acquires B, orders A before B.
+        if (held and isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"):
+            for token in method_locks.get(func.attr, ()):
+                for prior in held:
+                    if prior != token:
+                        order_pairs.setdefault(
+                            (prior, token), (entry.rel, node.lineno))
+        if not held:
+            return
+        # Condition-wait exemption: cond.wait()/wait_for() on a held
+        # condition releases it while waiting — that is the pattern.
+        if (isinstance(func, ast.Attribute)
+                and func.attr in {"wait", "wait_for"}
+                and dotted_name(func.value) in held):
+            return
+        reason = _blocking_reason(node)
+        if reason is None:
+            return
+        findings.append(Finding(
+            "locks.blocking-call", entry.rel, node.lineno,
+            f"{reason} while holding {', '.join(held)}"))
+
+    @staticmethod
+    def _order_findings(order_pairs: dict[tuple[str, str],
+                                          tuple[str, int]]
+                        ) -> Iterable[Finding]:
+        for (first, second), (rel, line) in sorted(order_pairs.items()):
+            reverse = order_pairs.get((second, first))
+            if reverse is None or (first, second) > (second, first):
+                continue    # report each inverted pair once, both sites
+            rev_rel, rev_line = reverse
+            yield Finding(
+                "locks.lock-order", rel, line,
+                f"acquires {second} while holding {first}, but "
+                f"{rev_rel}:{rev_line} acquires them in the opposite "
+                f"order")
+            yield Finding(
+                "locks.lock-order", rev_rel, rev_line,
+                f"acquires {first} while holding {second}, but "
+                f"{rel}:{line} acquires them in the opposite order")
+
+
+register(LockDisciplineChecker())

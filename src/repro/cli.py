@@ -55,6 +55,19 @@ The paper's codes can also be *served* by a long-lived daemon cluster
 
     # one extra datanode joining an already-running namenode
     python -m repro datanode --node-id 6 --namenode 127.0.0.1:7007
+
+Static analysis
+---------------
+
+``repro lint`` runs the invariant checkers over the tree (determinism,
+picklability, lock discipline, RPC surface; see ``docs/linting.md``)::
+
+    python -m repro lint                 # scan src/ benchmarks/ examples/
+    python -m repro lint --json          # machine-readable report
+    python -m repro lint src/repro/service --checker locks
+
+Exit status is nonzero when any unwaived finding remains — CI runs it
+as a hard gate.
 """
 
 from __future__ import annotations
@@ -80,6 +93,32 @@ from .experiments.distributed import (
     parse_hostport,
     run_worker,
 )
+
+
+def run_lint_cmd(args: argparse.Namespace) -> None:
+    # imported lazily: `repro lint` must work (and stay cheap) even
+    # when numpy-heavy experiment modules would be slow to import
+    from . import analysis
+
+    if args.rules:
+        for name, checker in sorted(analysis.registered_checkers().items()):
+            print(f"{name}:")
+            for rule, description in sorted(checker.rules.items()):
+                print(f"  {rule}: {description}")
+        return
+    try:
+        report = analysis.run_lint(
+            paths=args.paths or None,
+            checkers=args.checker or None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    if not report.ok():
+        raise SystemExit(1)
 
 
 def _print_checks(checks: dict[str, bool]) -> None:
@@ -405,6 +444,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit nonzero on any failed/mismatched read, "
                              "lost stripe, or undrained repair queue")
 
+    p_lint = sub.add_parser(
+        "lint", help="run the invariant static-analysis suite "
+                     "(determinism, picklability, locks, RPC surface)")
+    p_lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to scan (default: the repo's src/, "
+             "benchmarks/ and examples/ trees)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the report as JSON on stdout")
+    p_lint.add_argument("--rules", action="store_true",
+                        help="list every checker and rule, then exit")
+    p_lint.add_argument(
+        "--checker", action="append", default=None, metavar="NAME",
+        help="run only this checker (repeatable; default: all)")
+
     p_worker = sub.add_parser(
         "worker", help="serve sweep units to a distributed coordinator")
     p_worker.add_argument(
@@ -435,6 +489,7 @@ HANDLERS = {
     "serve": run_serve,
     "datanode": run_datanode_cmd,
     "load": run_load_cmd,
+    "lint": run_lint_cmd,
 }
 
 

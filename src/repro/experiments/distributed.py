@@ -329,6 +329,7 @@ def _heartbeat_loop(sock: socket.socket, send_lock: threading.Lock,
     while not stop.wait(interval):
         try:
             with send_lock:
+                # lint: allow(locks.blocking-call): send_lock exists precisely to serialize frame writes on the shared socket; nothing else is ever taken under it
                 send_frame(sock, ("ping", None))
         except OSError:
             return
@@ -387,6 +388,7 @@ def _serve_connection(sock: socket.socket, host: str, port: int,
                 stop.set()
                 beat.join()
             with send_lock:
+                # lint: allow(locks.blocking-call): send_lock serializes result frames against heartbeat pings on the shared socket; nothing else is ever taken under it
                 send_frame(sock, reply)
             served += 1
             tally[0] += 1

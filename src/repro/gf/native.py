@@ -44,6 +44,12 @@ The cache directory is ``$REPRO_NATIVE_CACHE``, else
 name embeds a hash of the C source, so edits rebuild automatically
 and concurrent builders (pool workers racing on a cold cache) land on
 the same file via an atomic rename.
+
+``$REPRO_NATIVE_SANITIZE=address,undefined`` builds the kernels with
+``-fsanitize=address,undefined -fno-omit-frame-pointer`` instead (see
+:func:`sanitize_profile`); the sanitize set is part of the cache key,
+so instrumented and plain builds coexist.  CI runs the
+``tests/test_gf_native.py`` fuzz suite under that profile.
 """
 
 from __future__ import annotations
@@ -250,8 +256,30 @@ _ERROR: str | None = None
 _ATTEMPTED = False
 
 
+def sanitize_profile() -> tuple[str, ...]:
+    """Sanitizers requested via ``$REPRO_NATIVE_SANITIZE``.
+
+    A comma-separated list (``address,undefined``) compiled into the
+    kernels as ``-fsanitize=...`` instrumentation; empty by default.
+    The profile is part of the cache key, so sanitized and plain
+    builds never collide, and it participates in the load outcome —
+    call :func:`reset` after changing the variable.
+
+    Note that dlopen'ing an ASan-instrumented library into an
+    uninstrumented python requires the ASan runtime preloaded
+    (``LD_PRELOAD=$(cc -print-file-name=libasan.so)``); the CI
+    ``native-sanitizers`` job wires this up.
+    """
+    env = os.environ.get("REPRO_NATIVE_SANITIZE", "").strip()
+    if not env:
+        return ()
+    return tuple(sorted({part.strip() for part in env.split(",")
+                         if part.strip()}))
+
+
 def _source_digest() -> str:
-    payload = f"{ABI_VERSION}\n{_CDEF}\n{_SOURCE}".encode()
+    sanitize = ",".join(sanitize_profile())
+    payload = f"{ABI_VERSION}\n{sanitize}\n{_CDEF}\n{_SOURCE}".encode()
     return hashlib.sha256(payload).hexdigest()[:16]
 
 
@@ -285,10 +313,14 @@ def _build_library(so_path: pathlib.Path) -> str | None:
     except OSError as exc:
         return f"cannot write C source to {cache_dir}: {exc}"
     last_error = "no C compiler candidates"
+    sanitize = sanitize_profile()
+    sanitize_flags = ([f"-fsanitize={','.join(sanitize)}",
+                       "-fno-omit-frame-pointer", "-g"]
+                      if sanitize else [])
     for compiler in _compilers():
         tmp = cache_dir / f".{so_path.name}.{os.getpid()}.tmp"
         command = [compiler, "-O3", "-std=gnu99", "-fPIC", "-shared",
-                   str(source_path), "-o", str(tmp)]
+                   *sanitize_flags, str(source_path), "-o", str(tmp)]
         try:
             result = subprocess.run(command, capture_output=True, text=True,
                                     timeout=120)

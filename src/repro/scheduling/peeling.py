@@ -43,7 +43,9 @@ class PeelingScheduler:
 
     def assign(self, tasks: list[Task], node_count: int, slots_per_node: int,
                rng: np.random.Generator | None = None) -> Assignment:
-        rng = rng if rng is not None else np.random.default_rng()
+        # deterministic default: an omitted rng must not make the
+        # schedule differ between two otherwise-identical runs
+        rng = rng if rng is not None else np.random.default_rng(0)
         assignment = Assignment(node_count, slots_per_node)
         if not tasks:
             return assignment

@@ -129,6 +129,7 @@ class DataNodeServer:
         if kind == "fault":
             pending = self.faults.arm(data["faults"])
             return {"armed": pending}
+        # lint: allow(rpc.unused-op): operator/debug surface — reachable over the raw framed call() protocol for manual cluster inspection
         if kind == "status":
             with self._store_lock:
                 blocks = self.store.block_count
@@ -137,6 +138,7 @@ class DataNodeServer:
                     "blocks": blocks, "used_bytes": used,
                     "requests": self._served,
                     "faults": self.faults.snapshot()}
+        # lint: allow(rpc.unused-op): graceful-stop surface for external operators; ServiceCluster terminates its subprocess children directly
         if kind == "shutdown":
             self._shutdown.set()
             return {"node_id": self.node_id}

@@ -362,6 +362,7 @@ class NameNodeServer:
             }
         return out
 
+    # lint: allow(rpc.unused-op): graceful-stop surface for external operators; `repro serve` and the tests close the server object directly
     def _op_shutdown(self, data, peer) -> dict:
         del data, peer
         threading.Thread(target=self.close, daemon=True).start()
@@ -392,7 +393,11 @@ class NameNodeServer:
         """One checker pass: scrub checksums, find damage, queue repairs."""
         alive = set(self._alive_ids())
         with self._meta:
-            stripes = [stripe for info in self._files.values()
+            # snapshot placement alongside each stripe: _repair_stripe
+            # re-homes slots by assigning stripe.slot_nodes under
+            # _meta, so the sweep must read it under the same lock
+            stripes = [(stripe, stripe.slot_nodes)
+                       for info in self._files.values()
                        for stripe in info.stripes]
             expected = dict(self._checksums)
             now = time.monotonic()
@@ -403,8 +408,8 @@ class NameNodeServer:
         # Scrub: ask each alive datanode for the current CRCs of every
         # block we believe it holds; mismatch or absence marks the slot.
         blocks_by_node: dict[int, list[BlockId]] = {}
-        for stripe in stripes:
-            for slot, node_id in enumerate(stripe.slot_nodes):
+        for stripe, slot_nodes in stripes:
+            for slot, node_id in enumerate(slot_nodes):
                 if node_id not in alive:
                     continue
                 for symbol in stripe.code.layout.symbols_on_slot(slot):
@@ -424,15 +429,14 @@ class NameNodeServer:
                 if seen is None or seen != expected.get(block):
                     damaged_blocks.add((block, node_id))
         # Walk stripes: dead slots + scrubbed damage -> repair queue.
-        for stripe in stripes:
+        for stripe, slot_nodes in stripes:
             key = (stripe.file_name, stripe.stripe_index)
-            slots = {slot for slot, node in enumerate(stripe.slot_nodes)
+            slots = {slot for slot, node in enumerate(slot_nodes)
                      if node not in alive}
             for block, node_id in damaged_blocks:
                 if (block.file_name, block.stripe_index) == key:
-                    slot = stripe.slot_of_node(node_id)
-                    if slot is not None:
-                        slots.add(slot)
+                    if node_id in slot_nodes:
+                        slots.add(slot_nodes.index(node_id))
             if slots:
                 with self._meta:
                     self._damaged.setdefault(key, set()).update(slots)
@@ -527,6 +531,7 @@ class NameNodeServer:
                          for symbol, coefficient
                          in zip(transfer.symbols_read,
                                 transfer.coefficients)]
+                # lint: allow(locks.blocking-call): repair RPCs run under the stripe lock by design — readers never take stripe locks (degraded reads decode client-side) and only the single checker thread repairs
                 reply = self._dn_call(node_id, "combine", {"parts": parts})
                 return np.frombuffer(reply["data"], dtype=np.uint8)
 
@@ -543,6 +548,7 @@ class NameNodeServer:
                     if symbol not in recovered:
                         raise UnrecoverableStripeError(
                             code.name, failed, (symbol,))
+                    # lint: allow(locks.blocking-call): see fetch() above — the repair writes hold only this stripe's lock, never _meta
                     reply = self._dn_call(
                         target, "put",
                         {"block": block_tuple(stripe.block_id(symbol)),

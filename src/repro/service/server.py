@@ -87,6 +87,7 @@ class FramedRequestServer:
                     kind, data = recv_frame(conn)
                 except Exception:
                     return         # peer gone, idle timeout, or garbage
+                # lint: allow(rpc.unused-op): framing-level close handshake for external clients; our own clients just close the socket
                 if kind == "bye":
                     return
                 try:

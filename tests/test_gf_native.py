@@ -329,3 +329,36 @@ class TestNativeDiagnostics:
     def test_error_is_none_when_loaded(self):
         assert native.error() is None
         assert kernels.native_error() is None
+
+
+class TestSanitizeProfile:
+    """$REPRO_NATIVE_SANITIZE builds instrumented kernels (CI runs this
+    suite under address,undefined with the ASan runtime preloaded)."""
+
+    def test_empty_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE_SANITIZE", raising=False)
+        assert native.sanitize_profile() == ()
+
+    def test_parsing_sorts_strips_and_dedups(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_SANITIZE",
+                           " undefined, address ,undefined,")
+        assert native.sanitize_profile() == ("address", "undefined")
+
+    def test_profile_is_part_of_the_cache_key(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE_SANITIZE", raising=False)
+        plain = native._source_digest()
+        monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "address,undefined")
+        sanitized = native._source_digest()
+        assert plain != sanitized
+
+    @needs_native
+    def test_sanitized_build_is_instrumented(self, monkeypatch, tmp_path):
+        # compile (not load: dlopen'ing an ASan library needs the
+        # runtime preloaded in the host process) and check that the
+        # binary references the sanitizer runtimes
+        monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "address,undefined")
+        so_path = tmp_path / f"repro_gf_native_{native._source_digest()}.so"
+        assert native._build_library(so_path) is None
+        blob = so_path.read_bytes()
+        assert b"__asan" in blob
+        assert b"__ubsan" in blob

@@ -1,0 +1,177 @@
+"""Determinism checker: seeded violations in fixture files are caught,
+and the seed-sensitive scope plus alias handling behave."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import run_lint
+
+
+def lint_source(tmp_path, source, rel="experiments/sweep.py"):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    report = run_lint(root=tmp_path, paths=[tmp_path],
+                      checkers=["determinism"], context_paths=[])
+    return report
+
+
+def rules(report):
+    return [(f.rule, f.line) for f in report.active]
+
+
+class TestGlobalRng:
+    def test_stdlib_random_module_call(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import random
+
+            def draw():
+                return random.choice([1, 2, 3])
+        """)
+        assert rules(report) == [("determinism.global-rng", 4)]
+
+    def test_stdlib_random_alias(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import random as rnd
+
+            def draw():
+                return rnd.shuffle([1, 2])
+        """)
+        assert rules(report) == [("determinism.global-rng", 4)]
+
+    def test_from_import_of_offender(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            from random import choice
+
+            def draw():
+                return choice([1, 2])
+        """)
+        assert rules(report) == [("determinism.global-rng", 4)]
+
+    def test_np_random_module_function(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import numpy as np
+
+            def reseed():
+                np.random.seed(0)
+                return np.random.random(4)
+        """)
+        assert rules(report) == [("determinism.global-rng", 4),
+                                 ("determinism.global-rng", 5)]
+
+    def test_numpy_random_submodule_alias(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import numpy.random as npr
+
+            def draw():
+                return npr.normal(size=3)
+        """)
+        assert rules(report) == [("determinism.global-rng", 4)]
+
+    def test_random_class_instances_are_fine(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import random
+
+            def draw(seed):
+                return random.Random(seed).random()
+        """)
+        assert report.ok()
+
+
+class TestUnseededRng:
+    def test_default_rng_without_seed(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import numpy as np
+
+            def fresh():
+                return np.random.default_rng()
+        """)
+        assert rules(report) == [("determinism.unseeded-rng", 4)]
+
+    def test_seeded_default_rng_is_fine(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import numpy as np
+
+            def stream(seed):
+                return np.random.default_rng(seed)
+        """)
+        assert report.ok()
+
+    def test_from_import_default_rng(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            from numpy.random import default_rng
+
+            def fresh():
+                return default_rng()
+        """)
+        assert rules(report) == [("determinism.unseeded-rng", 4)]
+
+
+class TestWallClock:
+    def test_time_time(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import time
+
+            def stamp():
+                return time.time()
+        """)
+        assert rules(report) == [("determinism.wall-clock", 4)]
+
+    def test_monotonic_clocks_are_fine(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import time
+
+            def tick():
+                return time.monotonic(), time.perf_counter()
+        """)
+        assert report.ok()
+
+    def test_datetime_now(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+        """)
+        assert rules(report) == [("determinism.wall-clock", 4)]
+
+    def test_datetime_module_path(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import datetime
+
+            def stamp():
+                return datetime.date.today()
+        """)
+        assert rules(report) == [("determinism.wall-clock", 4)]
+
+
+class TestScope:
+    SOURCE = """\
+        import random
+
+        def draw():
+            return random.random()
+    """
+
+    def test_sensitive_trees_are_checked(self, tmp_path):
+        for rel in ("experiments/a.py", "reliability/b.py",
+                    "mapreduce/c.py", "scheduling/d.py",
+                    "workloads/e.py", "service/faults.py"):
+            report = lint_source(tmp_path, self.SOURCE, rel=rel)
+            assert not report.ok(), rel
+
+    def test_other_code_is_out_of_scope(self, tmp_path):
+        for rel in ("tools/a.py", "service/namenode.py", "gf/native.py"):
+            report = lint_source(tmp_path, self.SOURCE, rel=rel)
+            assert report.ok(), rel
+
+    def test_waiver_silences_the_site(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import time
+
+            def stamp():
+                return time.time()  # lint: allow(determinism.wall-clock): display only
+        """)
+        assert report.ok()
+        assert len(report.waived) == 1

@@ -1,0 +1,251 @@
+"""Lock-discipline checker: blocking-under-lock and lock-order
+inversions are caught in fixture daemons; the condition-wait pattern
+and lock-free blocking stay clean."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import run_lint
+
+
+def lint_source(tmp_path, source, rel="service/daemon.py"):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return run_lint(root=tmp_path, paths=[tmp_path], checkers=["locks"],
+                    context_paths=[])
+
+
+def rules(report):
+    return [(f.rule, f.line) for f in report.active]
+
+
+class TestBlockingCalls:
+    def test_sleep_under_lock(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import time
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._store_lock = threading.Lock()
+
+                def bad(self):
+                    with self._store_lock:
+                        time.sleep(1.0)
+        """)
+        assert rules(report) == [("locks.blocking-call", 10)]
+
+    def test_socket_io_under_lock(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._meta = threading.RLock()
+
+                def bad(self, sock, payload):
+                    with self._meta:
+                        sock.sendall(payload)
+        """)
+        assert rules(report) == [("locks.blocking-call", 9)]
+
+    def test_rpc_helper_under_stripe_lock(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            class NameNode:
+                def repair(self, key):
+                    with self._stripe_lock(key):
+                        return self._dn_call(0, "combine", {})
+        """)
+        assert rules(report) == [("locks.blocking-call", 4)]
+
+    def test_nested_function_body_runs_under_the_lock(self, tmp_path):
+        # the fetch-closure pattern: defined and called inside `with`
+        report = lint_source(tmp_path, """\
+            class NameNode:
+                def repair(self, key, plan):
+                    with self._stripe_lock(key):
+                        def fetch(transfer):
+                            return self._dn_call(1, "combine", {})
+                        return plan(fetch)
+        """)
+        assert rules(report) == [("locks.blocking-call", 5)]
+
+    def test_blocking_outside_lock_is_fine(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import time
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._store_lock = threading.Lock()
+
+                def good(self, sock, payload):
+                    with self._store_lock:
+                        count = len(payload)
+                    time.sleep(0.1)
+                    sock.sendall(payload)
+                    return count
+        """)
+        assert report.ok()
+
+    def test_condition_wait_on_held_condition_is_exempt(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import threading
+
+            class Coordinator:
+                def __init__(self):
+                    self._state = threading.Condition()
+
+                def claim(self):
+                    with self._state:
+                        while True:
+                            self._state.wait(0.1)
+        """)
+        assert report.ok()
+
+    def test_wait_on_other_object_under_lock_is_flagged(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._meta = threading.RLock()
+
+                def bad(self, proc):
+                    with self._meta:
+                        proc.wait()
+        """)
+        assert rules(report) == [("locks.blocking-call", 9)]
+
+    def test_string_join_is_not_a_thread_join(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._meta = threading.RLock()
+
+                def render(self, parts):
+                    with self._meta:
+                        return ", ".join(parts)
+        """)
+        assert report.ok()
+
+
+class TestLockOrdering:
+    INVERTED = """\
+        import threading
+
+        class Daemon:
+            def __init__(self):
+                self._meta = threading.RLock()
+                self._store_lock = threading.Lock()
+
+            def forward(self):
+                with self._meta:
+                    with self._store_lock:
+                        return 1
+
+            def backward(self):
+                with self._store_lock:
+                    with self._meta:
+                        return 2
+    """
+
+    def test_inverted_pair_flagged_at_both_sites(self, tmp_path):
+        report = lint_source(tmp_path, self.INVERTED)
+        found = rules(report)
+        assert found == [("locks.lock-order", 10),
+                         ("locks.lock-order", 15)]
+
+    def test_consistent_order_is_fine(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._meta = threading.RLock()
+                    self._store_lock = threading.Lock()
+
+                def one(self):
+                    with self._meta:
+                        with self._store_lock:
+                            return 1
+
+                def two(self):
+                    with self._meta:
+                        with self._store_lock:
+                            return 2
+        """)
+        assert report.ok()
+
+    def test_inversion_through_helper_call(self, tmp_path):
+        # one level of propagation: helper() acquires _meta, and is
+        # called under _store_lock while someone else nests the
+        # opposite way
+        report = lint_source(tmp_path, """\
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._meta = threading.RLock()
+                    self._store_lock = threading.Lock()
+
+                def helper(self):
+                    with self._meta:
+                        return 1
+
+                def backward(self):
+                    with self._store_lock:
+                        return self.helper()
+
+                def forward(self):
+                    with self._meta:
+                        with self._store_lock:
+                            return 2
+        """)
+        assert [rule for rule, _ in rules(report)] == [
+            "locks.lock-order", "locks.lock-order"]
+
+
+class TestScope:
+    BLOCKING = """\
+        import time
+        import threading
+
+        class Daemon:
+            def __init__(self):
+                self._store_lock = threading.Lock()
+
+            def bad(self):
+                with self._store_lock:
+                    time.sleep(1.0)
+    """
+
+    def test_distributed_module_is_in_scope(self, tmp_path):
+        report = lint_source(tmp_path, self.BLOCKING,
+                             rel="experiments/distributed.py")
+        assert not report.ok()
+
+    def test_other_trees_are_out_of_scope(self, tmp_path):
+        report = lint_source(tmp_path, self.BLOCKING,
+                             rel="experiments/engine.py")
+        assert report.ok()
+
+    def test_waiver(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import time
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._store_lock = threading.Lock()
+
+                def bad(self):
+                    with self._store_lock:
+                        time.sleep(1.0)  # lint: allow(locks.blocking-call): fixture
+        """)
+        assert report.ok()
+        assert len(report.waived) == 1

@@ -1,0 +1,53 @@
+"""perf_snapshot backend guard: a BENCH JSON can never record numbers
+mislabelled with a backend that silently fell back."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.gf import kernels
+
+_BENCH = (pathlib.Path(__file__).resolve().parents[1]
+          / "benchmarks" / "perf_snapshot.py")
+_spec = importlib.util.spec_from_file_location("perf_snapshot", _BENCH)
+perf_snapshot = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_snapshot)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    yield
+    kernels.set_backend(None)
+
+
+class TestEnsureBackendMatches:
+    def test_fallback_from_concrete_request_exits_nonzero(
+            self, monkeypatch, capsys):
+        monkeypatch.setattr(kernels, "requested_backend", lambda: "native")
+        monkeypatch.setattr(kernels, "active_backend", lambda: "numpy")
+        monkeypatch.setattr(kernels, "native_error",
+                            lambda: "no compiler on host")
+        with pytest.raises(SystemExit) as exc:
+            perf_snapshot.ensure_backend_matches()
+        assert exc.value.code == 3
+        err = capsys.readouterr().err
+        assert "'native' requested but 'numpy' is active" in err
+        assert "no compiler on host" in err
+
+    def test_satisfied_concrete_request_passes(self, monkeypatch):
+        monkeypatch.setattr(kernels, "requested_backend", lambda: "numpy")
+        monkeypatch.setattr(kernels, "active_backend", lambda: "numpy")
+        perf_snapshot.ensure_backend_matches()
+
+    def test_auto_may_resolve_to_anything(self, monkeypatch):
+        monkeypatch.setattr(kernels, "requested_backend", lambda: "auto")
+        monkeypatch.setattr(kernels, "active_backend", lambda: "numpy")
+        perf_snapshot.ensure_backend_matches()
+
+    def test_real_resolution_is_consistent(self):
+        # whatever this host resolves to, the guard lets it through
+        kernels.set_backend(kernels.active_backend())
+        perf_snapshot.ensure_backend_matches()
