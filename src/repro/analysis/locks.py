@@ -12,25 +12,46 @@ holding a lock turns one slow peer into a stalled daemon; and two
 functions acquiring the same pair of locks in opposite orders is a
 deadlock that needs the right interleaving to fire.
 
+Since the daemons moved onto one asyncio loop apiece (the shared
+:mod:`repro.net` core), two async-specific bugs joined the list: a
+*blocking* call inside a coroutine stalls not one thread but the whole
+event loop (every connection, every heartbeat); and an ``await`` while
+holding a *synchronous* lock parks the loop with the lock held, so
+any foreign thread queued on that lock (the fault ticker, a bridging
+``run_coroutine`` caller) deadlocks against the coroutine that will
+never resume.
+
 Rules
 -----
 ``locks.blocking-call``
-    A blocking operation while at least one lock is held.  The lock
-    set is tracked per function through ``with`` blocks; calls to
-    sibling methods that themselves block are the callee's findings.
-    ``cond.wait()`` / ``cond.wait_for()`` *on a held condition* is
-    exempt — a condition wait releases the lock; that is the pattern,
-    not a bug.
+    A blocking operation while at least one synchronous lock is held.
+    The lock set is tracked per function through ``with`` blocks;
+    calls to sibling methods that themselves block are the callee's
+    findings.  ``cond.wait()`` / ``cond.wait_for()`` *on a held
+    condition* is exempt — a condition wait releases the lock; that
+    is the pattern, not a bug.
 ``locks.lock-order``
     Lock B acquired while holding lock A in one place, and A acquired
     while holding B in another (direct nesting, or one level through
     a sibling-method call).  Orders are compared by lock token across
     all files in scope.
+``locks.async-blocking``
+    A blocking call (socket I/O, framed send/recv, ``time.sleep``,
+    join/wait) inside an ``async def`` that is not awaited — it runs
+    on the event loop thread and stalls every coroutine on it.
+    Awaited calls are exempt (``await asyncio.sleep`` / ``conn.recv``
+    yield to the loop), as is ``.sleep`` on anything but ``time``.
+``locks.sync-lock-await``
+    An ``await`` while holding a synchronous (threading) lock.  The
+    coroutine suspends with the lock held; threads blocked on it
+    stall for as long as the await takes — or forever, if the thing
+    awaited needs one of those threads.
 
-Scope: ``service/`` and ``experiments/distributed.py``.  Nested
-functions defined inside a ``with`` block are analysed as running
-under that lock (in this codebase they are called there — e.g. the
-``fetch`` closure handed to the repair planner).
+Scope: ``service/``, ``experiments/distributed.py`` and
+``repro/net.py``.  Nested functions defined inside a ``with`` block
+are analysed as running under that lock (in this codebase they are
+called there — e.g. the ``fetch`` closure handed to the repair
+planner).
 """
 
 from __future__ import annotations
@@ -41,7 +62,7 @@ from collections.abc import Iterable
 from .core import Checker, Finding, Project, SourceFile, dotted_name, register
 
 SCOPE_SEGMENTS = ("service/",)
-SCOPE_FILES = ("experiments/distributed.py",)
+SCOPE_FILES = ("experiments/distributed.py", "repro/net.py")
 
 #: Attribute calls that block (socket I/O, subprocess, sleeps, joins).
 BLOCKING_ATTRS = {"recv", "recv_into", "recv_frame", "send", "sendall",
@@ -72,7 +93,8 @@ def lock_token(expr: ast.AST) -> str | None:
     """
     if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
         attr = expr.attr
-        if attr in {"_meta", "_state"} or "lock" in attr.lower():
+        if (attr in {"_meta", "_state", "_cond"}
+                or "lock" in attr.lower()):
             return f"{expr.value.id}.{attr}"
         return None
     if isinstance(expr, ast.Call):
@@ -151,6 +173,14 @@ class LockDisciplineChecker(Checker):
         "locks.lock-order":
             "lock pair acquired in opposite orders in different "
             "functions; a deadlock waiting for the right interleaving",
+        "locks.async-blocking":
+            "non-awaited blocking call inside an async function; it "
+            "runs on the event loop thread and stalls every coroutine "
+            "the daemon is serving",
+        "locks.sync-lock-await":
+            "await while holding a synchronous lock; the coroutine "
+            "suspends with the lock held and every thread queued on "
+            "it stalls",
     }
 
     def run(self, project: Project) -> Iterable[Finding]:
@@ -175,88 +205,120 @@ class LockDisciplineChecker(Checker):
                        order_pairs: dict[tuple[str, str],
                                          tuple[str, int]]) -> None:
         body = getattr(func, "body", [])
+        in_async = isinstance(func, ast.AsyncFunctionDef)
         for stmt in body:
             self._walk(entry, stmt, (), method_locks, findings,
-                       order_pairs, top=True)
+                       order_pairs, in_async=in_async)
 
     def _walk(self, entry: SourceFile, node: ast.AST,
-              held: tuple[str, ...],
+              held: tuple[tuple[str, bool], ...],
               method_locks: dict[str, set[str]],
               findings: list[Finding],
               order_pairs: dict[tuple[str, str], tuple[str, int]],
-              top: bool = False) -> None:
+              in_async: bool = False,
+              awaited: bool = False) -> None:
+        """``held`` is a tuple of ``(token, is_sync)`` pairs: ``with``
+        acquisitions are synchronous (threading) locks, ``async with``
+        ones are asyncio locks that only suspend the coroutine."""
         if isinstance(node, (ast.With, ast.AsyncWith)):
-            tokens: list[str] = []
+            is_sync = isinstance(node, ast.With)
+            tokens: list[tuple[str, bool]] = []
             for item in node.items:
                 # the with-expression itself evaluates *before* the
                 # lock is held
                 self._walk(entry, item.context_expr, held, method_locks,
-                           findings, order_pairs)
+                           findings, order_pairs, in_async=in_async,
+                           awaited=awaited)
                 token = lock_token(item.context_expr)
                 if token is not None:
-                    for prior in held + tuple(tokens):
+                    priors = ([name for name, _ in held]
+                              + [name for name, _ in tokens])
+                    for prior in priors:
                         if prior != token:
                             order_pairs.setdefault(
                                 (prior, token), (entry.rel, node.lineno))
-                    tokens.append(token)
+                    tokens.append((token, is_sync))
             inner = held + tuple(tokens)
             for stmt in node.body:
                 self._walk(entry, stmt, inner, method_locks, findings,
-                           order_pairs)
+                           order_pairs, in_async=in_async)
+            return
+        if isinstance(node, ast.Await):
+            sync_held = [name for name, is_sync in held if is_sync]
+            if sync_held:
+                findings.append(Finding(
+                    "locks.sync-lock-await", entry.rel, node.lineno,
+                    f"await while holding {', '.join(sync_held)}; the "
+                    f"coroutine suspends with the lock held and every "
+                    f"thread queued on it stalls"))
+            # Everything under the await yields to the loop rather
+            # than blocking it (arguments construct coroutines).
+            self._walk(entry, node.value, held, method_locks, findings,
+                       order_pairs, in_async=in_async, awaited=True)
             return
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                             ast.Lambda)) and not top:
+                             ast.Lambda)):
             # Nested def: analysed under the locks of its definition
             # site (in this codebase closures run where they are made).
+            nested_async = (in_async if isinstance(node, ast.Lambda)
+                            else isinstance(node, ast.AsyncFunctionDef))
             body = node.body if isinstance(node.body, list) else [node.body]
             for stmt in body:
                 self._walk(entry, stmt, held, method_locks, findings,
-                           order_pairs)
+                           order_pairs, in_async=nested_async)
             return
         if isinstance(node, ast.Call):
             self._check_call(entry, node, held, method_locks, findings,
-                             order_pairs)
+                             order_pairs, in_async=in_async,
+                             awaited=awaited)
         for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.With, ast.AsyncWith,
-                                  ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.Lambda)):
-                self._walk(entry, child, held, method_locks, findings,
-                           order_pairs)
-            else:
-                self._walk(entry, child, held, method_locks, findings,
-                           order_pairs)
+            self._walk(entry, child, held, method_locks, findings,
+                       order_pairs, in_async=in_async, awaited=awaited)
 
     def _check_call(self, entry: SourceFile, node: ast.Call,
-                    held: tuple[str, ...],
+                    held: tuple[tuple[str, bool], ...],
                     method_locks: dict[str, set[str]],
                     findings: list[Finding],
                     order_pairs: dict[tuple[str, str],
-                                      tuple[str, int]]) -> None:
+                                      tuple[str, int]],
+                    in_async: bool = False,
+                    awaited: bool = False) -> None:
         func = node.func
+        held_tokens = [name for name, _ in held]
         # One-level ordering propagation: self.m() while holding A,
         # where m directly acquires B, orders A before B.
         if (held and isinstance(func, ast.Attribute)
                 and isinstance(func.value, ast.Name)
                 and func.value.id == "self"):
             for token in method_locks.get(func.attr, ()):
-                for prior in held:
+                for prior in held_tokens:
                     if prior != token:
                         order_pairs.setdefault(
                             (prior, token), (entry.rel, node.lineno))
-        if not held:
-            return
         # Condition-wait exemption: cond.wait()/wait_for() on a held
         # condition releases it while waiting — that is the pattern.
         if (isinstance(func, ast.Attribute)
                 and func.attr in {"wait", "wait_for"}
-                and dotted_name(func.value) in held):
+                and dotted_name(func.value) in held_tokens):
             return
         reason = _blocking_reason(node)
-        if reason is None:
+        if reason is None or awaited:
             return
-        findings.append(Finding(
-            "locks.blocking-call", entry.rel, node.lineno,
-            f"{reason} while holding {', '.join(held)}"))
+        sync_held = [name for name, is_sync in held if is_sync]
+        if sync_held:
+            findings.append(Finding(
+                "locks.blocking-call", entry.rel, node.lineno,
+                f"{reason} while holding {', '.join(sync_held)}"))
+        elif in_async:
+            # asyncio.sleep / loop.sleep construct awaitables; only
+            # time.sleep actually parks the loop thread.
+            if (isinstance(func, ast.Attribute) and func.attr == "sleep"
+                    and dotted_name(func.value) != "time"):
+                return
+            findings.append(Finding(
+                "locks.async-blocking", entry.rel, node.lineno,
+                f"{reason} inside an async function; it runs on the "
+                f"event loop thread and stalls every coroutine"))
 
     @staticmethod
     def _order_findings(order_pairs: dict[tuple[str, str],

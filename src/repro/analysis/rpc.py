@@ -11,18 +11,19 @@ handler added without a caller, parses fine and fails only at runtime
 This checker rebuilds both sides from the AST and cross-references
 them:
 
-* **registries** — ``_op_*`` methods in ``service/namenode.py``,
-  ``kind == "..."``/``kind in (...)`` comparisons in
-  ``service/datanode.py``'s ``_handle`` and in ``service/server.py``
-  (framing-level kinds like ``bye`` are valid against either server),
-  plus any module-level ``OP_*``/``KIND_*`` string constants in
-  ``service/protocol.py``.
+* **registries** — ``_op_*`` methods in ``service/namenode.py``
+  (sync or async), ``kind == "..."``/``kind in (...)`` comparisons in
+  ``service/datanode.py``'s ``_handle`` and in ``repro/net.py``'s
+  shared RPC server (framing-level kinds like ``bye`` are valid
+  against either server), plus any module-level ``OP_*``/``KIND_*``
+  string constants in ``service/protocol.py``.
 * **call sites** — literal kinds passed to ``_nn_call`` (namenode),
-  ``_dn_call`` (datanode), the bare framed ``call(sock, kind, ...)``
-  helper (either side), and direct ``_op_<kind>`` attribute access.
-  Call sites are collected from the scanned tree *and* the context
-  files (the test suite), so an op exercised only by tests still
-  counts as called.
+  ``_dn_call``/``dn_call_sync`` (datanode), the bare framed
+  ``call(sock, kind, ...)`` helper and the async ``client.call(kind,
+  ...)``/``pool.call(address, kind, ...)`` methods (either side), and
+  direct ``_op_<kind>`` attribute access.  Call sites are collected
+  from the scanned tree *and* the context files (the test suite), so
+  an op exercised only by tests still counts as called.
 
 Rules
 -----
@@ -116,14 +117,15 @@ class RpcSurfaceChecker(Checker):
                           surface: _Surface) -> None:
         if entry.rel.endswith("service/namenode.py"):
             for node in ast.walk(entry.tree):
-                if (isinstance(node, ast.FunctionDef)
+                if (isinstance(node, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))
                         and node.name.startswith("_op_")):
                     op = node.name[len("_op_"):].replace("_", "-")
                     surface.namenode_ops[op] = (entry.rel, node.lineno)
         elif entry.rel.endswith("service/datanode.py"):
             for op, line in _kind_comparisons(entry.tree):
                 surface.datanode_ops.setdefault(op, (entry.rel, line))
-        elif entry.rel.endswith("service/server.py"):
+        elif entry.rel.endswith("repro/net.py"):
             for op, line in _kind_comparisons(entry.tree):
                 surface.framing_ops.setdefault(op, (entry.rel, line))
         elif entry.rel.endswith("service/protocol.py"):
@@ -167,7 +169,8 @@ class RpcSurfaceChecker(Checker):
                     findings.append(Finding(
                         "rpc.unknown-op", entry.rel, node.lineno,
                         f"namenode op '{kind}' has no _op_ handler"))
-            elif attr == "_dn_call" and len(node.args) >= 2:
+            elif (attr in {"_dn_call", "dn_call_sync"}
+                    and len(node.args) >= 2):
                 kind = string_literal(node.args[1])
                 if kind is None:
                     continue
@@ -179,6 +182,22 @@ class RpcSurfaceChecker(Checker):
                         f"datanode op '{kind}' has no _handle arm"))
             elif name == "call" and len(node.args) >= 2:
                 kind = string_literal(node.args[1])
+                if kind is None:
+                    continue
+                surface.either_calls.add(kind)
+                known = self._known(kind, surface, surface.namenode_ops,
+                                    surface.datanode_ops)
+                if report and not known:
+                    findings.append(Finding(
+                        "rpc.unknown-op", entry.rel, node.lineno,
+                        f"op '{kind}' is sent but neither server "
+                        f"registers it"))
+            elif attr == "call" and node.args:
+                # AsyncRpcClient.call("kind", data) has the kind first;
+                # RpcPool.call(address, "kind", data) has it second.
+                kind = string_literal(node.args[0])
+                if kind is None and len(node.args) >= 2:
+                    kind = string_literal(node.args[1])
                 if kind is None:
                     continue
                 surface.either_calls.add(kind)
@@ -249,10 +268,15 @@ class RpcSurfaceChecker(Checker):
                             assigned.setdefault(target.id, []).append(
                                 (string_literal(value.elts[0]),
                                  node.lineno))
-            if (isinstance(node, ast.Call)
-                    and (dotted_name(node.func).endswith("send_frame"))
-                    and len(node.args) >= 2):
-                frame = node.args[1]
+            if isinstance(node, ast.Call):
+                frame = None
+                if (dotted_name(node.func).endswith("send_frame")
+                        and len(node.args) >= 2):
+                    frame = node.args[1]
+                elif (isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "send" and node.args):
+                    # conn.send((kind, data)) on an AsyncConnection
+                    frame = node.args[0]
                 if isinstance(frame, ast.Tuple) and frame.elts:
                     kind = string_literal(frame.elts[0])
                     if kind is not None:

@@ -216,7 +216,8 @@ def run_serve(args: argparse.Namespace) -> None:
     with ServiceCluster(args.datanodes, block_bytes=args.block_bytes,
                         seed=args.seed,
                         silence_timeout=args.silence_timeout,
-                        check_period=args.check_period) as cluster:
+                        check_period=args.check_period,
+                        racks=args.racks) as cluster:
         host, port = cluster.address
         print(f"[serve] namenode on {host}:{port} with "
               f"{args.datanodes} datanode(s), checker every "
@@ -258,7 +259,8 @@ def run_load_cmd(args: argparse.Namespace) -> None:
                   log=emit)
     if args.spin_up:
         with ServiceCluster(args.spin_up, seed=args.seed,
-                            block_bytes=args.block_bytes) as cluster:
+                            block_bytes=args.block_bytes,
+                            racks=args.racks) as cluster:
             result = run_load(cluster.address, **kwargs)
     else:
         if not args.address:
@@ -400,6 +402,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--check-period", type=float, default=2.0,
                          help="checker/repairer sweep period "
                               "(default %(default)ss)")
+    p_serve.add_argument("--racks", type=_racks, default=None,
+                         metavar="N,N,...",
+                         help="rack sizes summing to --datanodes (e.g. "
+                              "2,2,2); stripes are placed rack-aware so "
+                              "one rack loss stays within code tolerance")
 
     p_dn = sub.add_parser(
         "datanode", help="run one storage datanode daemon")
@@ -427,6 +434,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--file-bytes", type=int, default=4 * 65536)
     p_load.add_argument("--block-bytes", type=int, default=65536,
                         help="block size for --spin-up clusters")
+    p_load.add_argument("--racks", type=_racks, default=None,
+                        metavar="N,N,...",
+                        help="rack sizes for --spin-up clusters (rack-"
+                             "aware stripe placement)")
     p_load.add_argument("--code", default="pentagon")
     p_load.add_argument("--duration", type=float, default=5.0,
                         help="read-load duration in seconds")
@@ -513,6 +524,19 @@ def _hostport(text: str) -> str:
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
     return text
+
+
+def _racks(text: str) -> list[int]:
+    """argparse type for comma-separated rack sizes, e.g. ``2,2,2``."""
+    try:
+        sizes = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a comma-separated list of rack sizes"
+        ) from None
+    if not sizes or any(size < 1 for size in sizes):
+        raise argparse.ArgumentTypeError("rack sizes must be positive")
+    return sizes
 
 
 def _heartbeat_interval(text: str) -> float:

@@ -41,7 +41,9 @@ class CorruptBlockError(RuntimeError):
 
 def block_checksum(data) -> int:
     """CRC-32 of a block's bytes (the write-time integrity stamp)."""
-    return zlib.crc32(np.ascontiguousarray(GF256.asarray(data)).tobytes())
+    # crc32 reads the array through the buffer protocol — no tobytes()
+    # copy on the per-read verify path.
+    return zlib.crc32(np.ascontiguousarray(GF256.asarray(data)))
 
 
 class DataNode:

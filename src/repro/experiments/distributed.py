@@ -46,8 +46,8 @@ worker to coord    error       ``(generation, unit_id, message)``
 coord to worker    shutdown    ``None``
 =================  ==========  =====================================
 
-Failure handling: the coordinator reads every connection with a
-``heartbeat_timeout`` socket timeout, and workers ping every
+Failure handling: the coordinator reads every connection under a
+``heartbeat_timeout`` silence budget, and workers ping every
 ``heartbeat_interval`` seconds while computing, so a hung-but-
 connected worker times out while a long-running unit stays alive
 indefinitely; a killed worker surfaces immediately as EOF.  Either
@@ -71,6 +71,7 @@ compatibility.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import socket
 import threading
@@ -79,7 +80,9 @@ from collections import deque
 
 from ..net import (       # noqa: F401  (re-exported protocol surface)
     MAX_FRAME_BYTES,
+    AsyncRpcServer,
     ProtocolError,
+    RetryPolicy,
     backoff_delay,
     parse_hostport,
     recv_frame,
@@ -102,8 +105,9 @@ HEARTBEAT_TIMEOUT = 30.0
 #: Cap on the worker's exponential reconnect backoff: a retry budget
 #: of N covers a coordinator up to roughly ``N * cap`` seconds late
 #: instead of ``N * delay``, without hammering a host that is still
-#: booting.
-RECONNECT_MAX_DELAY = 5.0
+#: booting.  One source of truth with the storage daemons' reconnect
+#: pacing: the shared :class:`~repro.net.RetryPolicy` defaults.
+RECONNECT_MAX_DELAY = RetryPolicy.RECONNECT_MAX_DELAY
 
 
 class DistributedExecutor(Executor):
@@ -113,10 +117,11 @@ class DistributedExecutor(Executor):
     address is in :attr:`address`) and accepts ``repro worker``
     connections at any time — before, during or between sweeps.  Each
     :meth:`run` call turns the payload batch into a FIFO work queue;
-    per-worker service threads claim one unit at a time, ship it, and
-    stream back results.  In-flight units whose worker dies or goes
-    silent are requeued for the next free worker, so a sweep completes
-    as long as at least one worker remains.
+    per-connection coroutines on the shared
+    :class:`~repro.net.AsyncRpcServer` event loop claim one unit at a
+    time, ship it, and stream back results.  In-flight units whose
+    worker dies or goes silent are requeued for the next free worker,
+    so a sweep completes as long as at least one worker remains.
 
     The executor is reusable across sweeps (the CLI's ``all`` runs
     six in a row) but not concurrently — one :meth:`run` at a time.
@@ -125,9 +130,6 @@ class DistributedExecutor(Executor):
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  heartbeat_timeout: float = HEARTBEAT_TIMEOUT):
         self.heartbeat_timeout = heartbeat_timeout
-        self._server = socket.create_server((host, port))
-        self.address: tuple[str, int] = self._server.getsockname()[:2]
-        self._state = threading.Condition()
         self._closed = False
         self._workers: dict[str, dict] = {}
         self._payloads: list = []
@@ -136,10 +138,14 @@ class DistributedExecutor(Executor):
         self._outputs: dict[int, object] = {}
         self._failure: Exception | None = None
         self._generation = 0
-        self._threads: list[threading.Thread] = []
-        threading.Thread(target=self._accept_loop,
-                         name="repro-coordinator-accept",
-                         daemon=True).start()
+        # Constructed off-loop; asyncio primitives bind to the running
+        # loop at first await (the server's loop, always).
+        self._cond = asyncio.Condition()
+        self._server = AsyncRpcServer(
+            host=host, port=port,
+            connection_handler=self._serve_worker,
+            name="repro-coordinator")
+        self.address: tuple[str, int] = self._server.address
 
     # -- Executor API --------------------------------------------------
 
@@ -147,7 +153,12 @@ class DistributedExecutor(Executor):
         payloads = list(payloads)
         if not payloads:
             return []
-        with self._state:
+        if self._closed:
+            raise RuntimeError("DistributedExecutor is closed")
+        return self._server.run_coroutine(self._run_sweep(payloads))
+
+    async def _run_sweep(self, payloads: list) -> list:
+        async with self._cond:
             if self._closed:
                 raise RuntimeError("DistributedExecutor is closed")
             self._generation += 1
@@ -156,10 +167,10 @@ class DistributedExecutor(Executor):
             self._failure = None
             self._in_flight = {}
             self._queue = deque(range(len(payloads)))
-            self._state.notify_all()
+            self._cond.notify_all()
             while (len(self._outputs) < len(payloads)
                    and self._failure is None and not self._closed):
-                self._state.wait(0.1)
+                await self._cond.wait()
             if self._failure is not None:
                 # Leave the workers connected for the next sweep: clear
                 # the queue so they stop burning CPU on a failed batch.
@@ -175,42 +186,49 @@ class DistributedExecutor(Executor):
     @property
     def worker_count(self) -> int:
         """Workers currently connected (post-handshake)."""
-        with self._state:
-            return len(self._workers)
+        return len(self._workers)
 
     def wait_for_workers(self, count: int = 1,
                          timeout: float | None = None) -> int:
         """Block until ``count`` workers are connected; returns the tally."""
-        deadline = None if timeout is None else time.monotonic() + timeout
-        with self._state:
+        try:
+            return self._server.run_coroutine(
+                self._wait_for_workers(count), timeout)
+        except TimeoutError:
+            raise TimeoutError(
+                f"only {len(self._workers)}/{count} workers "
+                f"connected within {timeout:.1f}s") from None
+
+    async def _wait_for_workers(self, count: int) -> int:
+        async with self._cond:
             while len(self._workers) < count:
                 if self._closed:
                     raise RuntimeError("DistributedExecutor is closed")
-                if deadline is not None and time.monotonic() >= deadline:
-                    raise TimeoutError(
-                        f"only {len(self._workers)}/{count} workers "
-                        f"connected within {timeout:.1f}s")
-                self._state.wait(0.1)
+                await self._cond.wait()
             return len(self._workers)
 
     def close(self) -> None:
         """Shut down: idle workers are told to exit, the port is freed.
 
-        Joins the per-worker service threads (briefly) so the shutdown
-        frames actually reach the workers before the process exits —
-        otherwise they would see an abrupt EOF and burn their
-        reconnect budget on a coordinator that is gone on purpose.
+        Waking the condition first lets every parked service coroutine
+        send its shutdown frame during the server's drain window, so
+        workers see a deliberate goodbye instead of an abrupt EOF that
+        would burn their reconnect budget on a coordinator that is
+        gone on purpose.
         """
-        with self._state:
-            if self._closed:
-                return
-            self._closed = True
-            self._state.notify_all()
-            threads = list(self._threads)
+        if self._closed:
+            return
+        try:
+            self._server.run_coroutine(self._close_async(), timeout=5.0)
+        except (TimeoutError, RuntimeError):
+            pass    # loop already stopped: nothing left to wake
+        self._closed = True
         self._server.close()
-        deadline = time.monotonic() + 5.0
-        for thread in threads:
-            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+
+    async def _close_async(self) -> None:
+        async with self._cond:
+            self._closed = True
+            self._cond.notify_all()
 
     def __enter__(self) -> "DistributedExecutor":
         return self
@@ -220,56 +238,43 @@ class DistributedExecutor(Executor):
 
     # -- coordinator internals -----------------------------------------
 
-    def _accept_loop(self) -> None:
-        while True:
-            try:
-                conn, addr = self._server.accept()
-            except OSError:     # server socket closed
-                return
-            thread = threading.Thread(
-                target=self._serve_worker, args=(conn, addr),
-                name=f"repro-coordinator-{addr[0]}:{addr[1]}",
-                daemon=True)
-            with self._state:
-                self._threads = [t for t in self._threads if t.is_alive()]
-                self._threads.append(thread)
-            thread.start()
-
-    def _serve_worker(self, conn: socket.socket, addr) -> None:
+    async def _serve_worker(self, conn) -> None:
         """One connection's service loop: claim, ship, collect, repeat."""
-        name = f"{addr[0]}:{addr[1]}"
+        name = f"{conn.peer[0]}:{conn.peer[1]}"
         claimed: int | None = None
         generation = 0
         try:
-            conn.settimeout(self.heartbeat_timeout)
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            kind, info = recv_frame(conn)
+            kind, info = await asyncio.wait_for(conn.recv(),
+                                                self.heartbeat_timeout)
             if kind != "hello" or not (isinstance(info, dict)
                                        and info.get("version")
                                        == PROTOCOL_VERSION):
-                send_frame(conn, ("shutdown", None))
+                await conn.send(("shutdown", None))
                 return
-            send_frame(conn, ("welcome", {"version": PROTOCOL_VERSION}))
-            with self._state:
+            await conn.send(("welcome", {"version": PROTOCOL_VERSION}))
+            async with self._cond:
                 self._workers[name] = dict(info)
-                self._state.notify_all()
+                self._cond.notify_all()
             while True:
-                claim = self._claim_unit(name)
+                claim = await self._claim_unit(name)
                 if claim is None:
-                    send_frame(conn, ("shutdown", None))
+                    await conn.send(("shutdown", None))
                     return
                 generation, claimed, payload = claim
-                send_frame(conn, ("unit", (generation, claimed, payload)))
+                await conn.send(("unit", (generation, claimed, payload)))
                 while True:
-                    kind, data = recv_frame(conn)   # timeout = silence budget
+                    # wait_for = the silence budget: pings reset it,
+                    # a hung worker trips it.
+                    kind, data = await asyncio.wait_for(
+                        conn.recv(), self.heartbeat_timeout)
                     if kind != "ping":
                         break
                 if kind == "result":
-                    self._record(*data)
+                    await self._record(*data)
                 elif kind == "error":
                     error_generation, _, message = data
-                    self._record_failure(error_generation,
-                                         CellExecutionError(message))
+                    await self._record_failure(error_generation,
+                                               CellExecutionError(message))
                 else:
                     raise ProtocolError(f"unexpected frame kind {kind!r}")
                 claimed = None
@@ -277,36 +282,36 @@ class DistributedExecutor(Executor):
             # Dead, hung or garbled peer (EOF, silence timeout, version
             # skew, port scanner, unpicklable frame): drop the
             # connection quietly and requeue below.  Deliberately broad
-            # — a service thread must never die loudly on bad input.
+            # — a service coroutine must never die loudly on bad input.
             pass
         finally:
-            conn.close()
-            with self._state:
+            # The server closes the connection after this returns.
+            async with self._cond:
                 self._workers.pop(name, None)
                 if (claimed is not None and generation == self._generation
                         and claimed not in self._outputs):
                     self._in_flight.pop(claimed, None)
                     self._queue.append(claimed)
-                self._state.notify_all()
+                self._cond.notify_all()
 
-    def _claim_unit(self, name: str):
+    async def _claim_unit(self, name: str):
         """Next ``(generation, unit_id, payload)``, or ``None`` on close.
 
-        Blocks while no work is pending — a worker that outlives one
+        Parks while no work is pending — a worker that outlives one
         sweep stays parked here until the next one (or close()).
         """
-        with self._state:
+        async with self._cond:
             while not self._closed:
                 if self._queue:
                     unit_id = self._queue.popleft()
                     self._in_flight[unit_id] = name
                     return (self._generation, unit_id,
                             self._payloads[unit_id])
-                self._state.wait(0.1)
+                await self._cond.wait()
             return None
 
-    def _record(self, generation: int, unit_id: int, output) -> None:
-        with self._state:
+    async def _record(self, generation: int, unit_id: int, output) -> None:
+        async with self._cond:
             if generation != self._generation:
                 return      # straggler from a previous sweep
             self._in_flight.pop(unit_id, None)
@@ -315,13 +320,14 @@ class DistributedExecutor(Executor):
             # same value, keep the first.
             if unit_id not in self._outputs:
                 self._outputs[unit_id] = output
-            self._state.notify_all()
+            self._cond.notify_all()
 
-    def _record_failure(self, generation: int, error: Exception) -> None:
-        with self._state:
+    async def _record_failure(self, generation: int,
+                              error: Exception) -> None:
+        async with self._cond:
             if generation == self._generation and self._failure is None:
                 self._failure = error
-            self._state.notify_all()
+            self._cond.notify_all()
 
 
 def _heartbeat_loop(sock: socket.socket, send_lock: threading.Lock,
@@ -399,7 +405,7 @@ def _serve_connection(sock: socket.socket, host: str, port: int,
 def run_worker(host: str, port: int, *,
                heartbeat_interval: float = HEARTBEAT_INTERVAL,
                reconnect_attempts: int = 0,
-               reconnect_delay: float = 1.0,
+               reconnect_delay: float = RetryPolicy.RECONNECT_BASE_DELAY,
                reconnect_max_delay: float = RECONNECT_MAX_DELAY,
                log=None) -> int:
     """Serve sweep units until the coordinator shuts down.

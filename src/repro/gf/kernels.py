@@ -80,6 +80,14 @@ NATIVE_MIN_BYTES = 1 << 11
 #: Output rows packed per lookup table (two input bytes each).
 _GROUP_ROWS = 4
 
+#: One-row :class:`BatchedLinearMap` per coefficient tuple, reused by
+#: :func:`linear_combine` so repeated combines (the datanode ``combine``
+#: RPC, repair partial parities) pay the nibble-table build once.  The
+#: cap only guards against a pathological caller cycling through
+#: unbounded coefficient vectors; real codes use a few dozen.
+_COMBINE_MAPS: dict[tuple[int, ...], "BatchedLinearMap"] = {}
+_COMBINE_MAP_LIMIT = 256
+
 _LITTLE_ENDIAN = sys.byteorder == "little"
 
 #: Environment variable selecting the execution backend.
@@ -246,15 +254,18 @@ def linear_combine(coefficients, buffers, length: int | None = None) -> np.ndarr
     """Backend-routed drop-in for :meth:`repro.gf.GF256.combine`.
 
     Returns ``sum_i c_i * buf_i`` over GF(2^8) as a fresh uint8 array.
-    On the native backend all non-zero parts run through one fused C
-    pass (per output byte: gather each part's product from its
-    L1-resident 256-byte ``MUL_TABLE`` row and XOR — unit coefficients
-    use the identity row); other backends delegate to
-    :meth:`GF256.combine` unchanged.  Results are bit-identical either
-    way, for any length — this is the small-block combine path (repair
-    partial parities, degraded-read decode steps, the datanode
-    ``combine`` RPC), where block sizes sit below
-    :data:`PACKED_MIN_BYTES` and the packed tables never pay off.
+    On the native backend, blocks of :data:`NATIVE_MIN_BYTES` and up
+    run through a cached one-row :class:`BatchedLinearMap` — the same
+    fused group kernel the encoder uses, 32 bytes per ``vpshufb`` on
+    AVX2 hosts — keyed by the coefficient tuple (the datanode
+    ``combine`` RPC and the repair plans cycle through a handful of
+    coefficient vectors, so the nibble tables are built once each).
+    Smaller native blocks take one fused C pass (per output byte:
+    gather each part's product from its L1-resident 256-byte
+    ``MUL_TABLE`` row and XOR — there the per-call table setup of the
+    batched route costs more than it saves); other backends delegate
+    to :meth:`GF256.combine` unchanged.  Results are bit-identical on
+    every route, for any length.
     """
     coefficients = [int(c) for c in coefficients]
     buffers = [GF256.asarray(b) for b in buffers]
@@ -272,6 +283,14 @@ def linear_combine(coefficients, buffers, length: int | None = None) -> np.ndarr
     kernels = _native.load() if active_backend() == "native" else None
     if kernels is None or length == 0:
         return GF256.combine(coefficients, buffers, length=length)
+    if length >= NATIVE_MIN_BYTES:
+        key = tuple(coefficients)
+        combine_map = _COMBINE_MAPS.get(key)
+        if combine_map is None:
+            if len(_COMBINE_MAPS) >= _COMBINE_MAP_LIMIT:
+                _COMBINE_MAPS.clear()
+            combine_map = _COMBINE_MAPS[key] = BatchedLinearMap([list(key)])
+        return combine_map.apply(buffers, block_size=length)[0]
     parts = [(c, np.ascontiguousarray(b))
              for c, b in zip(coefficients, buffers) if c != 0]
     if not parts:

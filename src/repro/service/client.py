@@ -16,6 +16,16 @@ the budget is spent.  A datanode that exhausts its budget is marked
 instead of re-paying the timeout; suspects expire because a repair (or
 a revived daemon) can make the node useful again.
 
+Reads resolve file metadata through a small client-side cache (as the
+HDFS client caches block locations): a ``stat`` answer is trusted for
+:data:`METADATA_TTL` seconds on the read path, halving the RPC count
+of a steady-state read from two round trips to one.  Stale placement
+is harmless — a read that trips over a re-homed or dead slot already
+re-plans and re-stats — so the TTL only bounds how long reads keep
+taking degraded-path detours after a repair moved blocks.  The public
+:meth:`StorageClient.stat` always asks the namenode (and refreshes the
+cache); writes and replans invalidate the cached entry.
+
 Reads ask the code for a :class:`~repro.core.repair.ReadPlan` against
 the currently-failed slots and execute it over ``get``/``combine``
 RPCs; any fetch that fails (dead daemon, corrupt block) promotes its
@@ -46,46 +56,32 @@ from ..cluster.datanode import BlockNotFoundError, CorruptBlockError
 from ..cluster.namenode import BlockId
 from ..core import Code, SymbolKind, UnrecoverableStripeError, make_code
 from ..core.repair import TransferKind
-from ..net import backoff_delay
+from ..net import RetryPolicy, recv_frame, send_frame
 from .datanode import call
 from .protocol import (
     ReadFailedError,
     ServiceUnavailableError,
     WriteFailedError,
     block_tuple,
+    unmarshal_error,
 )
 from .transfer import execute_read_plan
 
 #: How long an unreachable datanode stays on the suspect list before a
-#: read is willing to try it again.
-SUSPECT_TTL = 5.0
+#: read is willing to try it again.  Derived from the shared
+#: :class:`~repro.net.RetryPolicy` defaults (one source of truth with
+#: the sweep workers' reconnect pacing).
+SUSPECT_TTL = RetryPolicy.SUSPECT_TTL
+
+#: How long the read path trusts a cached ``stat`` answer before
+#: re-asking the namenode (0 disables caching).  Same source of truth
+#: as the rest of the operational constants: the shared
+#: :class:`~repro.net.RetryPolicy`.
+METADATA_TTL = RetryPolicy.METADATA_TTL
 
 #: Placement re-attempts per stripe before a write gives up (each
 #: attempt excludes the nodes that failed the previous one).
 PLACE_ATTEMPTS = 4
-
-
-class RetryPolicy:
-    """Timeout + capped exponential backoff + seeded jitter, per RPC."""
-
-    def __init__(self, *, attempts: int = 3, timeout: float = 2.0,
-                 base_delay: float = 0.05, max_delay: float = 1.0,
-                 jitter: float = 0.25, seed: int = 0):
-        if attempts < 1:
-            raise ValueError("a retry policy needs at least one attempt")
-        if timeout <= 0:
-            raise ValueError("timeout must be positive")
-        self.attempts = attempts
-        self.timeout = timeout
-        self.base_delay = base_delay
-        self.max_delay = max_delay
-        self.jitter = jitter
-        self._rng = np.random.default_rng(seed)
-
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry ``attempt`` (1-based, capped, jittered)."""
-        return backoff_delay(attempt, self.base_delay, self.max_delay,
-                             jitter=self.jitter, rng=self._rng)
 
 
 class _SlotFailure(Exception):
@@ -101,14 +97,17 @@ class StorageClient:
 
     def __init__(self, namenode: tuple[str, int], *,
                  retry: RetryPolicy | None = None,
-                 suspect_ttl: float = SUSPECT_TTL):
+                 suspect_ttl: float = SUSPECT_TTL,
+                 metadata_ttl: float = METADATA_TTL):
         self.namenode_address = (str(namenode[0]), int(namenode[1]))
         self.retry = retry if retry is not None else RetryPolicy()
         self.suspect_ttl = suspect_ttl
+        self.metadata_ttl = metadata_ttl
         self._nn_sock: socket.socket | None = None
         self._dn_socks: dict[int, socket.socket] = {}
         self._datanodes: dict[int, tuple[str, int]] = {}
         self._suspects: dict[int, float] = {}       # node_id -> expiry
+        self._stat_cache: dict[str, tuple[float, dict]] = {}
         self._codes: dict[str, Code] = {}
         self.counters = {"reads": 0, "degraded_reads": 0, "writes": 0,
                          "retries": 0, "replans": 0, "corrupt_reports": 0}
@@ -160,7 +159,8 @@ class StorageClient:
             f"namenode {self.namenode_address} unreachable after "
             f"{self.retry.attempts} attempts: {last}") from last
 
-    def _dn_call(self, node_id: int, kind: str, data) -> object:
+    def _dn_sock(self, node_id: int) -> socket.socket:
+        """The pooled connection to one datanode (opened on demand)."""
         address = self._datanodes.get(node_id)
         if address is None:
             self._refresh_locations()
@@ -168,27 +168,36 @@ class StorageClient:
             if address is None:
                 raise ServiceUnavailableError(
                     f"datanode {node_id} is not registered")
+        sock = self._dn_socks.get(node_id)
+        if sock is None:
+            sock = self._dn_socks[node_id] = self._connect(address)
+        return sock
+
+    def _drop_dn_sock(self, node_id: int) -> None:
+        sock = self._dn_socks.pop(node_id, None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _dn_call(self, node_id: int, kind: str, data) -> object:
         last: Exception | None = None
         for attempt in range(1, self.retry.attempts + 1):
             try:
-                sock = self._dn_socks.get(node_id)
-                if sock is None:
-                    sock = self._dn_socks[node_id] = self._connect(address)
-                return call(sock, kind, data)
+                return call(self._dn_sock(node_id), kind, data)
             except (ConnectionError, OSError, EOFError) as exc:
                 if getattr(exc, "code", None) is not None:
                     raise          # remote typed error, not transport
                 last = exc
-                sock = self._dn_socks.pop(node_id, None)
-                if sock is not None:
-                    sock.close()
+                self._drop_dn_sock(node_id)
                 if attempt < self.retry.attempts:
                     self.counters["retries"] += 1
                     time.sleep(self.retry.delay(attempt))
         self._suspects[node_id] = time.monotonic() + self.suspect_ttl
         error = ServiceUnavailableError(
-            f"datanode {node_id} at {address} unreachable after "
-            f"{self.retry.attempts} attempts: {last}")
+            f"datanode {node_id} at {self._datanodes.get(node_id)} "
+            f"unreachable after {self.retry.attempts} attempts: {last}")
         error.node_id = node_id         # type: ignore[attr-defined]
         raise error from last
 
@@ -217,9 +226,20 @@ class StorageClient:
         return list(self._nn_call("list", {}))
 
     def stat(self, name: str) -> dict:
+        """Fresh file metadata from the namenode (refreshes the cache)."""
         info = self._nn_call("stat", {"name": name})
         self._datanodes.update(info["datanodes"])
+        self._stat_cache[name] = (time.monotonic(), info)
         return info
+
+    def _stat_for_read(self, name: str) -> dict:
+        """Metadata for the read path: cached while the TTL holds."""
+        entry = self._stat_cache.get(name)
+        if entry is not None:
+            fetched_at, info = entry
+            if time.monotonic() - fetched_at < self.metadata_ttl:
+                return info
+        return self.stat(name)
 
     def status(self) -> dict:
         return self._nn_call("status", {})
@@ -267,6 +287,7 @@ class StorageClient:
                     f"untouched): {error}") from error
             raise
         self.counters["writes"] += 1
+        self._stat_cache.pop(name, None)
         return {"name": name, "stripes": reply["stripes"],
                 "code_name": code_name, "size_bytes": len(data)}
 
@@ -321,6 +342,7 @@ class StorageClient:
                 pass
 
     def _cleanup_failed_write(self, name: str, placed) -> None:
+        self._stat_cache.pop(name, None)
         self._delete_blocks(placed)
         try:
             self._nn_call("abort-write", {"name": name})
@@ -332,7 +354,7 @@ class StorageClient:
     # ------------------------------------------------------------------
     def read_file(self, name: str) -> bytes:
         """Read a whole file, degrading around failures as needed."""
-        info = self.stat(name)
+        info = self._stat_for_read(name)
         code = self._code(info["code_name"])
         pieces: list[bytes] = []
         for stripe_index in range(len(info["stripes"])):
@@ -346,7 +368,7 @@ class StorageClient:
     def read_block(self, name: str, stripe_index: int = 0,
                    symbol_index: int | None = None) -> bytes:
         """Read one block (default: the stripe's first data symbol)."""
-        info = self.stat(name)
+        info = self._stat_for_read(name)
         code = self._code(info["code_name"])
         if symbol_index is None:
             symbol_index = self._first_data_symbol(code)
@@ -363,7 +385,7 @@ class StorageClient:
         (Pure replication has nothing to decode from — there the forced
         set stays within tolerance and the read is a surviving copy.)
         """
-        info = self.stat(name)
+        info = self._stat_for_read(name)
         code = self._code(info["code_name"])
         if symbol_index is None:
             symbol_index = self._first_data_symbol(code)
@@ -409,6 +431,7 @@ class StorageClient:
                     # The checker may have repaired and re-homed slots
                     # since our metadata snapshot: refresh once.
                     refreshed = True
+                    self._stat_cache.pop(name, None)
                     info = self.stat(name)
                     slot_nodes = tuple(info["stripes"][stripe_index])
                     real_failed = {
@@ -430,41 +453,136 @@ class StorageClient:
                         f"({name!r}, {stripe_index}, {symbol_index})")
                 real_failed.add(failure.slot)
                 self.counters["replans"] += 1
+                # Our placement just proved stale or wounded — make the
+                # next read op re-stat instead of trusting the cache.
+                self._stat_cache.pop(name, None)
                 continue
             if plan.degraded:
                 self.counters["degraded_reads"] += 1
             return payload
 
+    def _resolve_fetch(self, name: str, stripe_index: int, transfer,
+                       slot_nodes, outcome) -> np.ndarray:
+        """Turn one transfer's reply-or-error into a payload.
+
+        Typed remote failures promote the transfer's slot via
+        :class:`_SlotFailure` (reporting corruption on the way), exactly
+        like the serial fetch path always did; anything else unexpected
+        propagates as-is.
+        """
+        node_id = slot_nodes[transfer.source_slot]
+        if isinstance(outcome, CorruptBlockError):
+            self._report_corrupt(node_id, outcome.block)
+            raise _SlotFailure(transfer.source_slot) from outcome
+        if isinstance(outcome, BlockNotFoundError):
+            self._report_corrupt(
+                node_id, BlockId(name, stripe_index,
+                                 transfer.symbols_read[0]))
+            raise _SlotFailure(transfer.source_slot) from outcome
+        if isinstance(outcome, ServiceUnavailableError):
+            raise _SlotFailure(transfer.source_slot) from outcome
+        if isinstance(outcome, Exception):
+            raise outcome
+        return np.frombuffer(outcome["data"], dtype=np.uint8)
+
+    @staticmethod
+    def _transfer_request(name: str, stripe_index: int,
+                          transfer) -> tuple[str, dict]:
+        """The ``get``/``combine`` request one transfer maps to."""
+        if (transfer.kind is TransferKind.COPY
+                and transfer.coefficients[0] == 1):
+            return ("get", {"block": (name, stripe_index,
+                                      transfer.symbols_read[0])})
+        parts = [((name, stripe_index, symbol), int(coefficient))
+                 for symbol, coefficient
+                 in zip(transfer.symbols_read, transfer.coefficients)]
+        return ("combine", {"parts": parts})
+
+    def _fetch_pipelined(self, name: str, stripe_index: int, plan,
+                         slot_nodes) -> list:
+        """Fetch every transfer of a multi-source plan concurrently.
+
+        The requests go out on all per-datanode connections *before*
+        any reply is read, so a reconstruction waits for the slowest
+        daemon instead of the sum of all of them (``get``/``combine``
+        are idempotent reads, so pipelining is safe).  Any transport
+        hiccup falls back to the per-call retry path for that node's
+        requests.  Returns one reply-or-exception per transfer, in plan
+        order.
+        """
+        requests = [self._transfer_request(name, stripe_index, transfer)
+                    for transfer in plan.transfers]
+        by_node: dict[int, list[int]] = {}
+        for position, transfer in enumerate(plan.transfers):
+            node_id = slot_nodes[transfer.source_slot]
+            by_node.setdefault(node_id, []).append(position)
+        outcomes: dict[int, object] = {}
+        sent: list[tuple[int, list[int]]] = []
+        fallback: list[tuple[int, list[int]]] = []
+        for node_id, positions in by_node.items():
+            try:
+                sock = self._dn_sock(node_id)
+                for position in positions:
+                    send_frame(sock, requests[position])
+            except (ConnectionError, OSError, EOFError):
+                self._drop_dn_sock(node_id)
+                fallback.append((node_id, positions))
+            else:
+                sent.append((node_id, positions))
+        for node_id, positions in sent:
+            sock = self._dn_socks.get(node_id)
+            for index, position in enumerate(positions):
+                try:
+                    status, payload = recv_frame(sock)
+                except (ConnectionError, OSError, EOFError):
+                    self._drop_dn_sock(node_id)
+                    fallback.append((node_id, positions[index:]))
+                    break
+                if status == "ok":
+                    outcomes[position] = payload
+                elif status == "err":
+                    outcomes[position] = unmarshal_error(*payload)
+                else:
+                    self._drop_dn_sock(node_id)
+                    fallback.append((node_id, positions[index:]))
+                    break
+        for node_id, positions in fallback:
+            for position in positions:
+                kind, data = requests[position]
+                try:
+                    outcomes[position] = self._dn_call(node_id, kind, data)
+                except Exception as error:
+                    outcomes[position] = error
+        return [outcomes[position] for position in range(len(requests))]
+
     def _execute_plan(self, name: str, stripe_index: int, plan,
                       slot_nodes) -> np.ndarray:
+        if len(plan.transfers) > 1:
+            # Reconstruction: all sources pipelined, then decode.
+            pairs = iter(zip(plan.transfers,
+                             self._fetch_pipelined(name, stripe_index,
+                                                   plan, slot_nodes)))
+
+            def fetch(transfer):
+                del transfer        # the iterator tracks plan order
+                planned, outcome = next(pairs)
+                return self._resolve_fetch(name, stripe_index, planned,
+                                           slot_nodes, outcome)
+
+            return execute_read_plan(plan, fetch)
+
         def fetch(transfer):
             node_id = slot_nodes[transfer.source_slot]
+            kind, data = self._transfer_request(name, stripe_index,
+                                                transfer)
             try:
-                if (transfer.kind is TransferKind.COPY
-                        and transfer.coefficients[0] == 1):
-                    reply = self._dn_call(
-                        node_id, "get",
-                        {"block": (name, stripe_index,
-                                   transfer.symbols_read[0])})
-                else:
-                    parts = [((name, stripe_index, symbol),
-                              int(coefficient))
-                             for symbol, coefficient
-                             in zip(transfer.symbols_read,
-                                    transfer.coefficients)]
-                    reply = self._dn_call(node_id, "combine",
-                                          {"parts": parts})
-                return np.frombuffer(reply["data"], dtype=np.uint8)
-            except CorruptBlockError as error:
-                self._report_corrupt(node_id, error.block)
-                raise _SlotFailure(transfer.source_slot) from error
-            except BlockNotFoundError as error:
-                self._report_corrupt(
-                    node_id, BlockId(name, stripe_index,
-                                     transfer.symbols_read[0]))
-                raise _SlotFailure(transfer.source_slot) from error
-            except ServiceUnavailableError as error:
-                raise _SlotFailure(transfer.source_slot) from error
+                reply = self._dn_call(node_id, kind, data)
+            except (CorruptBlockError, BlockNotFoundError,
+                    ServiceUnavailableError) as error:
+                return self._resolve_fetch(name, stripe_index, transfer,
+                                           slot_nodes, error)
+            return self._resolve_fetch(name, stripe_index, transfer,
+                                       slot_nodes, reply)
 
         return execute_read_plan(plan, fetch)
 

@@ -45,14 +45,30 @@ class ServiceCluster:
                  silence_timeout: float = SILENCE_TIMEOUT,
                  check_period: float = CHECK_PERIOD,
                  heartbeat_interval: float = HEARTBEAT_INTERVAL,
-                 startup_timeout: float = STARTUP_TIMEOUT):
+                 startup_timeout: float = STARTUP_TIMEOUT,
+                 reservation_timeout: float | None = None,
+                 racks: list[int] | None = None):
         if datanodes < 1:
             raise ValueError("a cluster needs at least one datanode")
+        rack_map = None
+        if racks is not None:
+            if sum(racks) != datanodes or any(size < 1 for size in racks):
+                raise ValueError(
+                    f"rack sizes {racks} must be positive and sum to the "
+                    f"{datanodes} datanodes")
+            rack_map = {}
+            for rack, size in enumerate(racks):
+                for _ in range(size):
+                    rack_map[len(rack_map)] = rack
         self.datanode_count = datanodes
         self.seed = seed
+        namenode_kwargs = {}
+        if reservation_timeout is not None:
+            namenode_kwargs["reservation_timeout"] = reservation_timeout
         self.namenode = NameNodeServer(
             host, 0, block_bytes=block_bytes, seed=seed,
-            silence_timeout=silence_timeout, check_period=check_period)
+            silence_timeout=silence_timeout, check_period=check_period,
+            rack_map=rack_map, **namenode_kwargs)
         self.address = self.namenode.address
         self._procs: dict[int, subprocess.Popen] = {}
         try:
@@ -110,7 +126,7 @@ class ServiceCluster:
         bound = plan.resolve(range(self.datanode_count))
         armed: dict[int, list[str]] = {}
         for node_id, faults in sorted(bound.items()):
-            self.namenode._dn_call(node_id, "fault", {"faults": faults})
+            self.namenode.dn_call_sync(node_id, "fault", {"faults": faults})
             armed[node_id] = [fault.describe() for fault in faults]
         return armed
 

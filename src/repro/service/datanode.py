@@ -1,16 +1,19 @@
 """The datanode daemon: block storage behind a socket.
 
 Wraps the in-memory :class:`~repro.cluster.datanode.DataNode` store in
-a :class:`~repro.service.server.FramedRequestServer`, registers with
-its namenode, and heartbeats until shut down.  The data path serves
+an :class:`~repro.net.AsyncRpcServer` (one event loop per daemon),
+registers with its namenode, and heartbeats until shut down.  The data
+path serves
 
 * ``put`` / ``get`` — store / verified-read one block (every ``get``
   recomputes the CRC and answers a typed ``corrupt`` error on rot);
 * ``combine`` — GF(2^8)-combine several locally held blocks into one
   payload (the repair plans' partial parities, computed at the source
   so a combine costs one block of network, not several);
-* ``checksums`` — current CRCs for a block list (the checker's scrub);
-* ``delete`` — drop orphaned blocks after an aborted write.
+* ``checksums`` — current CRCs for a block list, or the full inventory
+  when the list is ``None`` (the checker's scrub + orphan GC);
+* ``delete`` — drop orphaned blocks after an aborted write or a GC
+  sweep.
 
 Every data-path request first passes the :class:`~.faults.FaultArm`
 hook, so an armed plan can kill, hang, slow or corrupt this daemon at
@@ -20,18 +23,30 @@ heartbeating, exactly like the real failure it models.
 
 from __future__ import annotations
 
+import asyncio
 import socket
 import threading
-import time
 
 import numpy as np
 
 from ..cluster.datanode import DataNode
 from ..gf import linear_combine
-from ..net import ProtocolError, backoff_delay, recv_frame, send_frame
+from ..net import (
+    AsyncRpcClient,
+    AsyncRpcServer,
+    ProtocolError,
+    RetryPolicy,
+    backoff_delay,
+    recv_frame,
+    send_frame,
+)
 from .faults import FaultArm
-from .protocol import SERVICE_VERSION, block_from_tuple, unmarshal_error
-from .server import FramedRequestServer
+from .protocol import (
+    SERVICE_VERSION,
+    block_from_tuple,
+    marshal_error,
+    unmarshal_error,
+)
 
 #: Datanode -> namenode heartbeat cadence (seconds); the namenode's
 #: silence timeout should be a small multiple of this.
@@ -43,7 +58,9 @@ def call(sock: socket.socket, kind: str, data) -> object:
 
     Returns the ``ok`` payload or raises the peer's marshalled typed
     error.  Transport failures raise ``ConnectionError``/``OSError``
-    for the caller's retry policy.
+    for the caller's retry policy.  This blocking helper is also the
+    wire-compatibility reference: anything it can speak, the async
+    daemons must answer.
     """
     send_frame(sock, (kind, data))
     status, payload = recv_frame(sock)
@@ -55,7 +72,7 @@ def call(sock: socket.socket, kind: str, data) -> object:
 
 
 class DataNodeServer:
-    """One storage daemon: request loop, store, faults, heartbeats."""
+    """One storage daemon: event loop, store, faults, heartbeats."""
 
     def __init__(self, node_id: int, namenode: tuple[str, int], *,
                  host: str = "127.0.0.1", port: int = 0,
@@ -66,19 +83,20 @@ class DataNodeServer:
         self.heartbeat_interval = heartbeat_interval
         self.connect_retries = connect_retries
         self.store = DataNode(node_id)
+        # The fault ticker thread can corrupt blocks while the loop
+        # serves, so store access stays mutex-guarded even though all
+        # request handling now runs on one loop thread.
         self._store_lock = threading.Lock()
         self.faults = FaultArm(self.store, seed=fault_seed)
         self._shutdown = threading.Event()
         self._served = 0
-        self.server = FramedRequestServer(
+        self.server = AsyncRpcServer(
             self._handle, host, port,
-            before_request=self.faults.before_request,
+            before_request=self.faults.before_request_gate,
+            error_marshaller=marshal_error,
             name=f"datanode-{node_id}")
         self.address = self.server.address
-        self._heartbeat_thread = threading.Thread(
-            target=self._heartbeat_loop,
-            name=f"datanode-{node_id}-heartbeat", daemon=True)
-        self._heartbeat_thread.start()
+        self.server.spawn(self._heartbeat_loop())
 
     # ------------------------------------------------------------------
     def wait(self, timeout: float | None = None) -> bool:
@@ -160,7 +178,12 @@ class DataNodeServer:
             return linear_combine(coefficients, buffers)
 
     def _checksums(self, entries) -> dict:
-        """Current CRCs (recomputed — what a disk scrub would see)."""
+        """Current CRCs (recomputed — what a disk scrub would see).
+
+        ``entries=None`` answers the full inventory keyed by
+        ``(file_name, stripe_index, symbol_index)`` — the namenode's
+        scrub-plus-GC sweep reconciles this against its metadata.
+        """
         out: dict[tuple, int | None] = {}
         with self._store_lock:
             if entries is None:
@@ -176,43 +199,49 @@ class DataNodeServer:
     # ------------------------------------------------------------------
     # Namenode-facing side
     # ------------------------------------------------------------------
-    def _heartbeat_loop(self) -> None:
+    async def _heartbeat_loop(self) -> None:
+        client = AsyncRpcClient(
+            self.namenode_address,
+            retry=RetryPolicy(attempts=1, timeout=5.0),
+            error_unmarshaller=unmarshal_error)
         attempts = 0
-        sock: socket.socket | None = None
-        while not self._shutdown.is_set():
-            if self.faults.hung:
-                # A hung daemon goes silent everywhere: stop beating so
-                # the namenode's silence timeout declares us dead.
-                time.sleep(self.heartbeat_interval)
-                continue
-            try:
-                if sock is None:
-                    sock = socket.create_connection(
-                        self.namenode_address, timeout=5.0)
-                    call(sock, "dn-register",
-                         {"node_id": self.node_id,
-                          "address": self.address,
-                          "version": SERVICE_VERSION})
-                    attempts = 0
-                with self._store_lock:
-                    blocks = self.store.block_count
-                call(sock, "dn-heartbeat",
-                     {"node_id": self.node_id, "blocks": blocks})
-            except (ConnectionError, OSError, ProtocolError):
-                if sock is not None:
-                    sock.close()
-                    sock = None
-                attempts += 1
-                if attempts > self.connect_retries:
-                    # Orphaned from the namenode for good: shut down
-                    # rather than serve a cluster that forgot us.
-                    self._shutdown.set()
-                    return
-                time.sleep(backoff_delay(attempts, 0.2, 5.0))
-                continue
-            self._shutdown.wait(self.heartbeat_interval)
-        if sock is not None:
-            sock.close()
+        registered = False
+        try:
+            while not self._shutdown.is_set():
+                if self.faults.hung:
+                    # A hung daemon goes silent everywhere: stop
+                    # beating so the namenode's silence timeout
+                    # declares us dead.
+                    await asyncio.sleep(self.heartbeat_interval)
+                    continue
+                try:
+                    if not registered:
+                        await client.call(
+                            "dn-register",
+                            {"node_id": self.node_id,
+                             "address": self.address,
+                             "version": SERVICE_VERSION})
+                        registered = True
+                        attempts = 0
+                    with self._store_lock:
+                        blocks = self.store.block_count
+                    await client.call("dn-heartbeat",
+                                      {"node_id": self.node_id,
+                                       "blocks": blocks})
+                except (ConnectionError, OSError, ProtocolError):
+                    registered = False   # re-register on a fresh peer
+                    attempts += 1
+                    if attempts > self.connect_retries:
+                        # Orphaned from the namenode for good: shut down
+                        # rather than serve a cluster that forgot us.
+                        self._shutdown.set()
+                        return
+                    await asyncio.sleep(backoff_delay(
+                        attempts, 0.2, RetryPolicy.RECONNECT_MAX_DELAY))
+                    continue
+                await asyncio.sleep(self.heartbeat_interval)
+        finally:
+            await client.close()
 
 
 def run_datanode(node_id: int, namenode: tuple[str, int], *,

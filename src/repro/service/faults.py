@@ -22,6 +22,7 @@ a ticker thread so a kill lands even on an idle daemon.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import signal
 import threading
@@ -226,6 +227,47 @@ class FaultArm:
             elapsed = time.monotonic() - self._armed_at
         self._evaluate(count, elapsed)
         self._apply_degradations()
+
+    def before_request_gate(self, kind: str, data):
+        """Async-daemon twin of :meth:`before_request`.
+
+        Trigger bookkeeping runs synchronously (the healthy hot path
+        never touches the event loop's task machinery); when a
+        hang/slow degradation is active the returned coroutine *awaits*
+        instead of sleeping, so a hung or slowed connection parks only
+        its own coroutine — other clients keep being served on the same
+        event loop, exactly as the threaded pool kept its other workers
+        going.  Returns ``None`` when there is nothing to wait for.
+        """
+        del data
+        if kind in ("fault", "status"):
+            return None     # the harness control path must stay responsive
+        with self._lock:
+            self._requests += 1
+            count = self._requests
+            elapsed = time.monotonic() - self._armed_at
+        self._evaluate(count, elapsed)
+        with self._lock:
+            degraded = self._hung or (self._slow_until is not None
+                                      and time.monotonic()
+                                      < self._slow_until)
+        if not degraded:
+            return None
+        return self._degrade_async()
+
+    async def _degrade_async(self) -> None:
+        while True:
+            with self._lock:
+                hung = self._hung
+                slow = (self._slow_delay
+                        if self._slow_until is not None
+                        and time.monotonic() < self._slow_until else 0.0)
+            if hung:
+                await asyncio.sleep(_HANG_SLEEP)
+                continue    # stay hung — never answer again
+            if slow:
+                await asyncio.sleep(slow)
+            return
 
     def _tick_loop(self) -> None:
         while True:

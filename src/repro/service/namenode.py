@@ -2,28 +2,42 @@
 
 Owns the namespace (files -> stripes -> slot/node bindings -> write-time
 block checksums), tracks datanode liveness through heartbeats with a
-silence timeout, and runs the background checker loop: every
-``check_period`` it scrubs block checksums across the alive datanodes,
-walks every stripe for slots that are dead or corrupt, queues damaged
-stripes, and repairs them through the codes' own
+silence timeout, and runs the background checker loop on its event
+loop: every ``check_period`` it scrubs block checksums across the
+alive datanodes, walks every stripe for slots that are dead or
+corrupt, queues damaged stripes, repairs them through the codes' own
 :meth:`~repro.core.code.Code.plan_node_repair` planners — reading
 partial parities from surviving daemons, decoding locally, and
-re-placing rebuilt blocks on replacement nodes.  Serving continues
-throughout: reads never block on a repair (clients decode around
-damage on their own), writes are refused only when fewer datanodes are
-alive than the code needs, and a stripe's metadata mutates only under
-its per-stripe lock.
+re-placing rebuilt blocks on replacement nodes — and garbage-collects
+orphaned blocks that no committed stripe accounts for (the debris of
+aborted or expired two-phase writes).  Serving continues throughout:
+reads never block on a repair (clients decode around damage on their
+own), writes are refused only when fewer datanodes are alive than the
+code needs, and a stripe's metadata mutates only under its per-stripe
+``asyncio.Lock``.
+
+Request handlers run synchronously on the loop under the ``_meta``
+mutex (still a ``threading.RLock`` — tests and the cluster harness
+read state from foreign threads); the checker coroutine never awaits
+while holding it, a discipline the ``repro lint`` locks checker
+enforces.
 
 Two-phase writes keep the namespace consistent under client failures:
 ``begin-write`` only reserves the name, the client places and stores
 every stripe, and nothing becomes visible until ``commit-write``
 publishes the whole file atomically — a client that dies mid-write
-leaves no partial stripes behind, just an expirable reservation.
+leaves no partial stripes behind, just an expirable reservation whose
+blocks the next sweep deletes.
+
+With a ``rack_map`` (``node_id -> rack``) configured, ``place-stripe``
+routes through :class:`~repro.cluster.placement.RackAwarePlacement`
+instead of a flat random spread, so a single rack loss stays within
+the code's failure-domain tolerance.
 """
 
 from __future__ import annotations
 
-import socket
+import asyncio
 import threading
 import time
 from collections import deque
@@ -33,15 +47,19 @@ import numpy as np
 
 from ..cluster.datanode import CorruptBlockError
 from ..cluster.namenode import BlockId, FileInfo, StripeInfo
+from ..cluster.placement import PlacementError, RackAwarePlacement
+from ..cluster.topology import ClusterTopology, NodeInfo
 from ..core import Code, UnrecoverableStripeError, make_code
-from ..net import ProtocolError
+from ..core.repair import TransferKind
+from ..net import AsyncRpcServer, ProtocolError, RetryPolicy, RpcPool
 from .protocol import (
     SERVICE_VERSION,
     WriteRefusedError,
     block_from_tuple,
     block_tuple,
+    marshal_error,
+    unmarshal_error,
 )
-from .server import FramedRequestServer
 from .transfer import execute_repair_plan
 
 #: Default silence budget before a datanode is declared dead; must
@@ -55,7 +73,8 @@ CHECK_PERIOD = 2.0
 RPC_TIMEOUT = 5.0
 
 #: A write reservation older than this is expired by the checker — the
-#: client died mid-write; the name becomes available again.
+#: client died mid-write; the name becomes available again (and the
+#: write's orphaned blocks become GC fodder the same sweep).
 RESERVATION_TIMEOUT = 120.0
 
 
@@ -76,13 +95,18 @@ class NameNodeServer:
                  block_bytes: int = 65536, seed: int = 0,
                  silence_timeout: float = SILENCE_TIMEOUT,
                  check_period: float = CHECK_PERIOD,
-                 rpc_timeout: float = RPC_TIMEOUT):
+                 rpc_timeout: float = RPC_TIMEOUT,
+                 reservation_timeout: float = RESERVATION_TIMEOUT,
+                 rack_map: dict[int, int] | None = None):
         if block_bytes <= 0:
             raise ValueError("block size must be positive")
         self.block_bytes = block_bytes
         self.silence_timeout = silence_timeout
         self.check_period = check_period
         self.rpc_timeout = rpc_timeout
+        self.reservation_timeout = reservation_timeout
+        self.rack_map = (None if rack_map is None
+                         else {int(k): int(v) for k, v in rack_map.items()})
         self._meta = threading.RLock()
         self._files: dict[str, FileInfo] = {}
         self._checksums: dict[BlockId, int] = {}
@@ -96,21 +120,28 @@ class NameNodeServer:
         self._repairing: tuple[str, int] | None = None
         self._lost: set[tuple[str, int]] = set()
         self._stats = {"repairs_done": 0, "repair_failures": 0,
-                       "checker_sweeps": 0, "degraded_blocks_seen": 0}
-        self._stripe_locks: dict[tuple[str, int], threading.Lock] = {}
+                       "checker_sweeps": 0, "degraded_blocks_seen": 0,
+                       "gc_blocks": 0}
+        self._stripe_locks: dict[tuple[str, int], asyncio.Lock] = {}
         self._closed = threading.Event()
-        self._kick = threading.Event()
-        self.server = FramedRequestServer(self._handle, host, port,
-                                          name="namenode")
+        self._kick = asyncio.Event()
+        self._pool = RpcPool(
+            retry=RetryPolicy(attempts=1, timeout=rpc_timeout),
+            error_unmarshaller=unmarshal_error)
+        self.server = AsyncRpcServer(self._handle, host, port,
+                                     error_marshaller=marshal_error,
+                                     name="namenode")
         self.address = self.server.address
-        self._checker_thread = threading.Thread(
-            target=self._checker_loop, name="namenode-checker", daemon=True)
-        self._checker_thread.start()
+        self.server.add_shutdown_callback(self._pool.close)
+        self.server.spawn(self._checker_loop())
 
     # ------------------------------------------------------------------
     def close(self) -> None:
         self._closed.set()
-        self._kick.set()
+        try:
+            self.server.wake(self._kick)
+        except RuntimeError:
+            pass            # loop already stopped (double close)
         self.server.close()
 
     def __enter__(self) -> "NameNodeServer":
@@ -141,21 +172,23 @@ class NameNodeServer:
             return {node_id: record.address
                     for node_id, record in self._datanodes.items()}
 
-    def _stripe_lock(self, key: tuple[str, int]) -> threading.Lock:
+    def _stripe_lock(self, key: tuple[str, int]) -> asyncio.Lock:
         with self._meta:
-            return self._stripe_locks.setdefault(key, threading.Lock())
+            return self._stripe_locks.setdefault(key, asyncio.Lock())
 
-    def _dn_call(self, node_id: int, kind: str, data) -> object:
-        """One short-lived RPC to a datanode (scrub/repair path)."""
-        from .datanode import call
-
+    async def _dn_call(self, node_id: int, kind: str, data) -> object:
+        """One pooled RPC to a datanode (scrub/repair/GC path)."""
         address = self._addresses().get(node_id)
         if address is None:
             raise ConnectionError(f"datanode {node_id} is not registered")
-        with socket.create_connection(address,
-                                      timeout=self.rpc_timeout) as sock:
-            sock.settimeout(self.rpc_timeout)
-            return call(sock, kind, data)
+        return await self._pool.call(address, kind, data)
+
+    def dn_call_sync(self, node_id: int, kind: str, data,
+                     timeout: float | None = None) -> object:
+        """:meth:`_dn_call` bridged for foreign threads (the cluster
+        harness arms fault plans through this)."""
+        return self.server.run_coroutine(
+            self._dn_call(node_id, kind, data), timeout)
 
     # ------------------------------------------------------------------
     # Request handling
@@ -251,11 +284,41 @@ class NameNodeServer:
             raise WriteRefusedError(
                 f"{code.name} needs {code.length} distinct datanodes; "
                 f"{len(eligible)} eligible (alive minus {sorted(exclude)})")
-        with self._meta:
-            picks = self._rng.choice(len(eligible), size=code.length,
-                                     replace=False)
-        slot_nodes = tuple(int(eligible[i]) for i in picks)
+        if self.rack_map is None:
+            with self._meta:
+                picks = self._rng.choice(len(eligible), size=code.length,
+                                         replace=False)
+            slot_nodes = tuple(int(eligible[i]) for i in picks)
+        else:
+            with self._meta:
+                slot_nodes = self._place_racked(code, eligible)
         return {"slot_nodes": slot_nodes, "datanodes": self._addresses()}
+
+    def _place_racked(self, code: Code, eligible) -> tuple[int, ...]:
+        """Rack-aware placement over the configured rack map.
+
+        Racks are renumbered densely (the placement strategies iterate
+        ``range(rack_count)``); eligible nodes missing from the rack
+        map count as dead.  Domain/capacity violations raise
+        :class:`~repro.cluster.placement.PlacementError`, which
+        marshals to the client as a typed ``placement`` error.
+        """
+        usable = sorted(n for n in eligible if n in self.rack_map)
+        if len(usable) < code.length:
+            raise PlacementError(
+                f"{code.name} needs {code.length} rack-mapped datanodes; "
+                f"{len(usable)} of the {len(eligible)} eligible are in "
+                "the rack map")
+        dense = {rack: index for index, rack
+                 in enumerate(sorted({self.rack_map[n] for n in usable}))}
+        present = set(usable)
+        nodes = [NodeInfo(node_id=node_id,
+                          rack=dense.get(self.rack_map.get(node_id, -1), 0),
+                          alive=node_id in present)
+                 for node_id in range(max(usable) + 1)]
+        placed = RackAwarePlacement().place_stripe(
+            code, ClusterTopology(nodes=nodes), self._rng)
+        return tuple(int(n) for n in placed)
 
     def _op_commit_write(self, data, peer) -> dict:
         del peer
@@ -312,7 +375,7 @@ class NameNodeServer:
             if slot is not None:
                 self._damaged.setdefault(key, set()).add(slot)
                 self._enqueue_repair(key)
-        self._kick.set()
+        self._kick.set()        # handlers run on the loop: safe directly
         return {}
 
     def _op_status(self, data, peer) -> dict:
@@ -320,13 +383,15 @@ class NameNodeServer:
         alive = set(self._alive_ids())
         now = time.monotonic()
         with self._meta:
-            datanodes = {
-                node_id: {"address": record.address,
-                          "alive": node_id in alive,
-                          "blocks": record.blocks,
-                          "silence_s": round(now - record.last_beat, 3)}
-                for node_id, record in self._datanodes.items()
-            }
+            datanodes = {}
+            for node_id, record in self._datanodes.items():
+                entry = {"address": record.address,
+                         "alive": node_id in alive,
+                         "blocks": record.blocks,
+                         "silence_s": round(now - record.last_beat, 3)}
+                if self.rack_map is not None:
+                    entry["rack"] = self.rack_map.get(node_id)
+                datanodes[node_id] = entry
             stripe_count = sum(len(info.stripes)
                                for info in self._files.values())
             # Stripes with a slot on a dead node: the checker's backlog
@@ -358,6 +423,7 @@ class NameNodeServer:
                     "sweeps": self._stats["checker_sweeps"],
                     "period_s": self.check_period,
                     "silence_timeout_s": self.silence_timeout,
+                    "gc_blocks": self._stats["gc_blocks"],
                 },
             }
         return out
@@ -365,6 +431,7 @@ class NameNodeServer:
     # lint: allow(rpc.unused-op): graceful-stop surface for external operators; `repro serve` and the tests close the server object directly
     def _op_shutdown(self, data, peer) -> dict:
         del data, peer
+        # close() must run off-loop (it joins the loop thread).
         threading.Thread(target=self.close, daemon=True).start()
         return {}
 
@@ -377,20 +444,24 @@ class NameNodeServer:
                 self._queued.add(key)
                 self._repair_queue.append(key)
 
-    def _checker_loop(self) -> None:
+    async def _checker_loop(self) -> None:
         while not self._closed.is_set():
-            self._kick.wait(timeout=self.check_period)
+            try:
+                await asyncio.wait_for(self._kick.wait(),
+                                       timeout=self.check_period)
+            except asyncio.TimeoutError:
+                pass
             self._kick.clear()
             if self._closed.is_set():
                 return
             try:
-                self._sweep()
+                await self._sweep()
             except Exception:       # a sick sweep must not kill the loop
                 pass
-            self._drain_repairs()
+            await self._drain_repairs()
 
-    def _sweep(self) -> None:
-        """One checker pass: scrub checksums, find damage, queue repairs."""
+    async def _sweep(self) -> None:
+        """One checker pass: scrub checksums, find damage, GC orphans."""
         alive = set(self._alive_ids())
         with self._meta:
             # snapshot placement alongside each stripe: _repair_stripe
@@ -402,11 +473,13 @@ class NameNodeServer:
             expected = dict(self._checksums)
             now = time.monotonic()
             for name, since in list(self._pending.items()):
-                if now - since > RESERVATION_TIMEOUT:
+                if now - since > self.reservation_timeout:
                     del self._pending[name]     # writer died; free the name
             self._stats["checker_sweeps"] += 1
-        # Scrub: ask each alive datanode for the current CRCs of every
-        # block we believe it holds; mismatch or absence marks the slot.
+        # Scrub: fetch each alive datanode's full inventory of current
+        # CRCs.  Mismatch or absence of a block we believe it holds
+        # marks the slot damaged; blocks *we* cannot account for are
+        # orphans for the GC pass below.
         blocks_by_node: dict[int, list[BlockId]] = {}
         for stripe, slot_nodes in stripes:
             for slot, node_id in enumerate(slot_nodes):
@@ -415,16 +488,17 @@ class NameNodeServer:
                 for symbol in stripe.code.layout.symbols_on_slot(slot):
                     blocks_by_node.setdefault(node_id, []).append(
                         stripe.block_id(symbol))
+        inventories: dict[int, dict] = {}
         damaged_blocks: set[tuple[BlockId, int]] = set()
-        for node_id, blocks in blocks_by_node.items():
+        for node_id in sorted(alive):
             try:
-                reply = self._dn_call(
-                    node_id, "checksums",
-                    {"blocks": [block_tuple(b) for b in blocks]})
+                reply = await self._dn_call(node_id, "checksums",
+                                            {"blocks": None})
             except (ConnectionError, OSError, ProtocolError):
                 continue        # silent node: liveness will catch it
             crcs = reply["checksums"]
-            for block in blocks:
+            inventories[node_id] = crcs
+            for block in blocks_by_node.get(node_id, ()):
                 seen = crcs.get(block_tuple(block))
                 if seen is None or seen != expected.get(block):
                     damaged_blocks.add((block, node_id))
@@ -441,8 +515,58 @@ class NameNodeServer:
                 with self._meta:
                     self._damaged.setdefault(key, set()).update(slots)
                 self._enqueue_repair(key)
+        await self._gc_orphans(inventories)
 
-    def _drain_repairs(self) -> None:
+    async def _gc_orphans(self, inventories: dict[int, dict]) -> None:
+        """Delete blocks that no committed stripe accounts for.
+
+        An aborted or expired two-phase write leaves its blocks behind
+        on the datanodes (client-side deletes are best-effort only);
+        so can a repair that re-homed a slot away from a node that
+        later revived.  Keep/delete decisions are made against
+        *current* metadata under ``_meta`` — not the sweep-start
+        snapshot — so a file that committed while the scrub RPCs were
+        in flight keeps its fresh blocks: a ``_pending`` name is an
+        in-flight write, and stripes owned by the repair queue are
+        left untouched until the repair settles.
+        """
+        doomed: dict[int, list[tuple]] = {}
+        with self._meta:
+            for node_id, crcs in inventories.items():
+                for entry in crcs:
+                    name, stripe_index, symbol_index = entry
+                    if name in self._pending:
+                        continue            # write still in flight
+                    info = self._files.get(name)
+                    if info is None:        # aborted/expired/unknown
+                        doomed.setdefault(node_id, []).append(entry)
+                        continue
+                    if not 0 <= stripe_index < len(info.stripes):
+                        doomed.setdefault(node_id, []).append(entry)
+                        continue
+                    key = (name, stripe_index)
+                    if (key in self._damaged or key in self._queued
+                            or key == self._repairing):
+                        continue            # the repairer owns this stripe
+                    stripe = info.stripes[stripe_index]
+                    symbols = stripe.code.layout.symbols
+                    if not 0 <= symbol_index < len(symbols):
+                        doomed.setdefault(node_id, []).append(entry)
+                        continue
+                    if not any(stripe.slot_nodes[slot] == node_id
+                               for slot in symbols[symbol_index].replicas):
+                        # stale copy from before a repair re-homed it
+                        doomed.setdefault(node_id, []).append(entry)
+        for node_id, entries in doomed.items():
+            try:
+                reply = await self._dn_call(node_id, "delete",
+                                            {"blocks": entries})
+            except (ConnectionError, OSError, ProtocolError):
+                continue        # unreachable: next sweep retries
+            with self._meta:
+                self._stats["gc_blocks"] += int(reply.get("dropped", 0))
+
+    async def _drain_repairs(self) -> None:
         while not self._closed.is_set():
             with self._meta:
                 if not self._repair_queue:
@@ -452,7 +576,7 @@ class NameNodeServer:
                 self._repairing = key
             requeue = False
             try:
-                requeue = not self._repair_stripe(key)
+                requeue = not await self._repair_stripe(key)
             except UnrecoverableStripeError:
                 with self._meta:
                     self._lost.add(key)
@@ -481,14 +605,15 @@ class NameNodeServer:
                 self._enqueue_repair(key)
                 return      # let liveness/scrub state evolve first
 
-    def _repair_stripe(self, key: tuple[str, int]) -> bool:
+    async def _repair_stripe(self, key: tuple[str, int]) -> bool:
         """Rebuild one stripe's damaged slots; True when fully handled.
 
-        Serving continues while this runs — only the stripe's own lock
-        is held, and readers never take it (they decode around damage
-        client-side until the repair lands).
+        Serving continues while this runs — only the stripe's own
+        asyncio lock is held across the repair RPCs, and readers never
+        take it (they decode around damage client-side until the
+        repair lands).  ``_meta`` is only ever held between awaits.
         """
-        with self._stripe_lock(key):
+        async with self._stripe_lock(key):
             alive = set(self._alive_ids())
             with self._meta:
                 info = self._files.get(key[0])
@@ -523,17 +648,29 @@ class NameNodeServer:
                 else:
                     return False    # no replacement capacity yet: requeue
             plan = code.plan_node_repair(failed)
-
-            def fetch(transfer):
+            # Pre-fetch every network transfer (DECODED ones are
+            # produced locally by the plan executor; the rest never
+            # depend on earlier payloads), then run the sync executor
+            # over the prefetched payloads in plan order.
+            prefetched: list[np.ndarray] = []
+            for transfer in plan.transfers:
+                if transfer.kind is TransferKind.DECODED:
+                    continue
                 node_id = stripe.slot_nodes[transfer.source_slot]
                 parts = [(block_tuple(stripe.block_id(symbol)),
                           int(coefficient))
                          for symbol, coefficient
                          in zip(transfer.symbols_read,
                                 transfer.coefficients)]
-                # lint: allow(locks.blocking-call): repair RPCs run under the stripe lock by design — readers never take stripe locks (degraded reads decode client-side) and only the single checker thread repairs
-                reply = self._dn_call(node_id, "combine", {"parts": parts})
-                return np.frombuffer(reply["data"], dtype=np.uint8)
+                reply = await self._dn_call(node_id, "combine",
+                                            {"parts": parts})
+                prefetched.append(
+                    np.frombuffer(reply["data"], dtype=np.uint8))
+            payloads = iter(prefetched)
+
+            def fetch(transfer):
+                del transfer
+                return next(payloads)
 
             recovered = execute_repair_plan(plan, fetch)
             with self._meta:
@@ -548,8 +685,7 @@ class NameNodeServer:
                     if symbol not in recovered:
                         raise UnrecoverableStripeError(
                             code.name, failed, (symbol,))
-                    # lint: allow(locks.blocking-call): see fetch() above — the repair writes hold only this stripe's lock, never _meta
-                    reply = self._dn_call(
+                    reply = await self._dn_call(
                         target, "put",
                         {"block": block_tuple(stripe.block_id(symbol)),
                          "data": recovered[symbol].tobytes()})

@@ -1,0 +1,232 @@
+"""The shared async RPC core (:mod:`repro.net`): byte-compatibility
+with the blocking helpers, graceful drain on shutdown, the
+consolidated retry constants, and daemon behaviour under connection
+storms and a slow-loris client."""
+
+import asyncio
+import inspect
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.net import (
+    AsyncRpcClient,
+    AsyncRpcServer,
+    ProtocolError,
+    RetryPolicy,
+    recv_frame,
+    send_frame,
+)
+from repro.service.datanode import DataNodeServer, call
+from repro.service.protocol import marshal_error, unmarshal_error
+
+
+def _echo_handler(kind, data, peer):
+    if kind == "echo":
+        return data
+    if kind == "boom":
+        raise ValueError("kaboom")
+    if kind == "missing":
+        raise FileNotFoundError("no such thing")
+    raise ProtocolError(f"unknown op {kind!r}")
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture
+def echo_server():
+    with AsyncRpcServer(_echo_handler, "127.0.0.1", 0,
+                        error_marshaller=marshal_error,
+                        name="echo") as server:
+        yield server
+
+
+@pytest.fixture
+def lone_datanode():
+    """One in-process async datanode whose namenode never answers —
+    the daemon keeps serving its data path on its reconnect budget."""
+    server = DataNodeServer(0, ("127.0.0.1", _free_port()),
+                            connect_retries=10**6,
+                            heartbeat_interval=30.0)
+    try:
+        yield server
+    finally:
+        server.close()
+
+
+class TestWireCompat:
+    """Old blocking clients must interoperate byte-for-byte."""
+
+    def test_sync_socket_round_trip(self, echo_server):
+        with socket.create_connection(echo_server.address) as sock:
+            payload = {"x": 1, "blob": b"\x00\xff" * 128}
+            assert call(sock, "echo", payload) == payload
+            # the connection is reusable: several exchanges, one socket
+            for index in range(5):
+                assert call(sock, "echo", index) == index
+
+    def test_handler_error_is_marshalled_typed(self, echo_server):
+        with socket.create_connection(echo_server.address) as sock:
+            with pytest.raises(FileNotFoundError):
+                call(sock, "missing", None)
+            # and the connection survives the error
+            assert call(sock, "echo", "still-alive") == "still-alive"
+
+    def test_unknown_op_is_a_typed_error_not_a_hangup(self, echo_server):
+        with socket.create_connection(echo_server.address) as sock:
+            with pytest.raises(Exception, match="unknown op"):
+                call(sock, "nonsense", None)
+            assert call(sock, "echo", 1) == 1
+
+    def test_bye_closes_the_connection(self, echo_server):
+        with socket.create_connection(echo_server.address) as sock:
+            send_frame(sock, ("bye", None))
+            sock.settimeout(5.0)
+            with pytest.raises(ConnectionError):
+                recv_frame(sock)
+
+    def test_garbage_header_drops_connection_not_server(self, echo_server):
+        with socket.create_connection(echo_server.address) as sock:
+            sock.sendall(b"\xff\xff\xff\xff")     # 4 GiB announcement
+            sock.settimeout(5.0)
+            with pytest.raises((ConnectionError, OSError)):
+                recv_frame(sock)
+        with socket.create_connection(echo_server.address) as sock:
+            assert call(sock, "echo", "fine") == "fine"
+
+
+class TestGracefulDrain:
+    def test_in_flight_request_finishes_before_shutdown(self):
+        started = threading.Event()
+
+        async def slow_handler(kind, data, peer):
+            started.set()
+            await asyncio.sleep(0.5)
+            return "done"
+
+        server = AsyncRpcServer(slow_handler, "127.0.0.1", 0,
+                                name="drain")
+        with socket.create_connection(server.address) as sock:
+            send_frame(sock, ("work", None))
+            assert started.wait(5.0)
+            server.close()          # drain: the reply still arrives
+            sock.settimeout(5.0)
+            assert recv_frame(sock) == ("ok", "done")
+
+
+class TestRetryPolicyConsolidation:
+    """Satellite: the operational constants live in one place."""
+
+    def test_client_suspect_ttl_derives_from_policy(self):
+        from repro.service import client as client_mod
+        assert client_mod.SUSPECT_TTL == RetryPolicy.SUSPECT_TTL
+
+    def test_worker_reconnect_constants_derive_from_policy(self):
+        from repro.experiments import distributed
+        assert (distributed.RECONNECT_MAX_DELAY
+                == RetryPolicy.RECONNECT_MAX_DELAY)
+        sig = inspect.signature(distributed.run_worker)
+        assert (sig.parameters["reconnect_delay"].default
+                == RetryPolicy.RECONNECT_BASE_DELAY)
+
+    def test_async_client_gives_up_with_attempt_count(self):
+        async def go():
+            client = AsyncRpcClient(
+                ("127.0.0.1", _free_port()),
+                retry=RetryPolicy(attempts=2, timeout=0.5,
+                                  base_delay=0.01, max_delay=0.02))
+            try:
+                with pytest.raises(ConnectionError,
+                                   match="unreachable after 2"):
+                    await client.call("echo", 1)
+            finally:
+                await client.close()
+        asyncio.run(go())
+
+    def test_typed_remote_errors_are_not_retried(self):
+        calls = []
+
+        def handler(kind, data, peer):
+            calls.append(kind)
+            raise FileNotFoundError("gone")
+
+        with AsyncRpcServer(handler, "127.0.0.1", 0,
+                            error_marshaller=marshal_error) as server:
+            async def go():
+                client = AsyncRpcClient(
+                    server.address,
+                    retry=RetryPolicy(attempts=3, timeout=2.0),
+                    error_unmarshaller=unmarshal_error)
+                try:
+                    with pytest.raises(FileNotFoundError):
+                        await client.call("stat", None)
+                finally:
+                    await client.close()
+            asyncio.run(go())
+        assert calls == ["stat"]      # one attempt, no transport retry
+
+
+class TestConnectionStorm:
+    """Satellite: N concurrent blocking clients against one async
+    datanode — every read bit-verified, no dropped frames."""
+
+    CLIENTS = 12
+    READS = 15
+
+    def test_storm_of_bit_verified_reads(self, lone_datanode):
+        address = lone_datanode.address
+        blocks = []
+        with socket.create_connection(address) as sock:
+            for index in range(8):
+                entry = ("storm", 0, index)
+                payload = bytes([index]) * 512
+                call(sock, "put", {"block": entry, "data": payload})
+                blocks.append((entry, payload))
+        failures = []
+
+        def reader(seed: int) -> None:
+            try:
+                with socket.create_connection(address) as sock:
+                    for turn in range(self.READS):
+                        entry, expected = blocks[(seed + turn)
+                                                 % len(blocks)]
+                        reply = call(sock, "get", {"block": entry})
+                        if reply["data"] != expected:
+                            failures.append((seed, turn, "mismatch"))
+            except Exception as exc:
+                failures.append((seed, "error", repr(exc)))
+
+        threads = [threading.Thread(target=reader, args=(index,))
+                   for index in range(self.CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert failures == []
+
+    def test_slow_loris_does_not_stall_other_clients(self, lone_datanode):
+        address = lone_datanode.address
+        with socket.create_connection(address) as sock:
+            entry = ("loris", 0, 0)
+            payload = b"\xab" * 256
+            call(sock, "put", {"block": entry, "data": payload})
+        # A client that announces a frame and then goes quiet holds
+        # only its own connection hostage.
+        loris = socket.create_connection(address)
+        try:
+            loris.sendall(b"\x00\x00\x01\x00" + b"\x01" * 10)  # 256 promised
+            start = time.monotonic()
+            with socket.create_connection(address) as sock:
+                for _ in range(20):
+                    reply = call(sock, "get", {"block": entry})
+                    assert reply["data"] == payload
+            assert time.monotonic() - start < 5.0
+        finally:
+            loris.close()

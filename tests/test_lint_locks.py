@@ -210,6 +210,104 @@ class TestLockOrdering:
             "locks.lock-order", "locks.lock-order"]
 
 
+class TestAsyncRules:
+    def test_time_sleep_in_async_def(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import time
+
+            class Daemon:
+                async def bad(self):
+                    time.sleep(1.0)
+        """)
+        assert rules(report) == [("locks.async-blocking", 5)]
+
+    def test_socket_io_in_async_def(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            class Daemon:
+                async def bad(self, sock, payload):
+                    sock.sendall(payload)
+        """)
+        assert rules(report) == [("locks.async-blocking", 3)]
+
+    def test_sync_send_frame_in_async_def(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            from repro.net import send_frame
+
+            class Daemon:
+                async def bad(self, sock):
+                    send_frame(sock, ("ping", None))
+        """)
+        assert rules(report) == [("locks.async-blocking", 5)]
+
+    def test_awaited_calls_are_exempt(self, tmp_path):
+        # await yields to the loop; arguments construct coroutines
+        report = lint_source(tmp_path, """\
+            import asyncio
+
+            class Daemon:
+                async def good(self, conn):
+                    await asyncio.sleep(1.0)
+                    kind, data = await asyncio.wait_for(conn.recv(), 5.0)
+                    await conn.send((kind, data))
+        """)
+        assert report.ok()
+
+    def test_await_under_sync_lock(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._meta = threading.RLock()
+
+                async def bad(self):
+                    with self._meta:
+                        await self.flush()
+        """)
+        assert rules(report) == [("locks.sync-lock-await", 9)]
+
+    def test_await_under_async_lock_is_fine(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            import asyncio
+
+            class Daemon:
+                def __init__(self):
+                    self._turn_lock = asyncio.Lock()
+
+                async def good(self, conn, reply):
+                    async with self._turn_lock:
+                        await conn.send(reply)
+        """)
+        assert report.ok()
+
+    def test_blocking_under_async_lock_stalls_the_loop(self, tmp_path):
+        # not a locks.blocking-call (no thread waits on an asyncio
+        # lock) but still parks the whole loop
+        report = lint_source(tmp_path, """\
+            import asyncio
+            import time
+
+            class Daemon:
+                def __init__(self):
+                    self._send_lock = asyncio.Lock()
+
+                async def bad(self):
+                    async with self._send_lock:
+                        time.sleep(0.5)
+        """)
+        assert rules(report) == [("locks.async-blocking", 10)]
+
+    def test_nested_sync_def_is_not_async_context(self, tmp_path):
+        report = lint_source(tmp_path, """\
+            class Daemon:
+                async def outer(self, sock):
+                    def emit(payload):
+                        sock.sendall(payload)
+                    return emit
+        """)
+        assert report.ok()
+
+
 class TestScope:
     BLOCKING = """\
         import time
@@ -227,6 +325,11 @@ class TestScope:
     def test_distributed_module_is_in_scope(self, tmp_path):
         report = lint_source(tmp_path, self.BLOCKING,
                              rel="experiments/distributed.py")
+        assert not report.ok()
+
+    def test_net_module_is_in_scope(self, tmp_path):
+        report = lint_source(tmp_path, self.BLOCKING,
+                             rel="repro/net.py")
         assert not report.ok()
 
     def test_other_trees_are_out_of_scope(self, tmp_path):

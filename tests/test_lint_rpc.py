@@ -37,7 +37,8 @@ def write(tmp_path, rel, source):
 def lint(tmp_path, context_paths=()):
     # scan only the source trees: fixture "tests/" files are context,
     # not scanned code
-    scan = [p for p in (tmp_path / "service", tmp_path / "experiments")
+    scan = [p for p in (tmp_path / "service", tmp_path / "experiments",
+                        tmp_path / "repro")
             if p.is_dir()]
     return run_lint(root=tmp_path, paths=scan, checkers=["rpc"],
                     context_paths=list(context_paths))
@@ -134,6 +135,94 @@ class TestOpRegistries:
             ("rpc.unknown-op", "service/datanode.py", 11)]
 
 
+class TestAsyncSurface:
+    def test_async_op_handlers_register(self, tmp_path):
+        write(tmp_path, "service/namenode.py", """\
+            class NameNodeServer:
+                async def _op_locations(self, data, peer):
+                    return {}
+        """)
+        write(tmp_path, "service/client.py", """\
+            class StorageClient:
+                def use(self):
+                    self._nn_call("locations", {})
+        """)
+        report = lint(tmp_path)
+        assert report.ok(), report.format_text()
+
+    def test_async_client_call_sites_count(self, tmp_path):
+        # AsyncRpcClient.call("kind", ...) and RpcPool.call(address,
+        # "kind", ...) both count against either registry
+        write(tmp_path, "service/namenode.py", NAMENODE)
+        write(tmp_path, "service/datanode.py", """\
+            class DataNodeServer:
+                async def beat(self, client, pool, address):
+                    await client.call("locations", {})
+                    await pool.call(address, "stat", {})
+        """)
+        report = lint(tmp_path)
+        assert report.ok(), report.format_text()
+
+    def test_async_client_unknown_op(self, tmp_path):
+        write(tmp_path, "service/namenode.py", NAMENODE)
+        write(tmp_path, "service/datanode.py", """\
+            class DataNodeServer:
+                async def beat(self, client):
+                    await client.call("locations", {})
+                    await client.call("stat", {})
+                    await client.call("nowhere", {})
+        """)
+        report = lint(tmp_path)
+        assert ("rpc.unknown-op", "service/datanode.py", 5) \
+            in actives(report)
+
+    def test_dn_call_sync_counts_as_datanode_call(self, tmp_path):
+        write(tmp_path, "service/datanode.py", DATANODE)
+        write(tmp_path, "service/cluster.py", """\
+            class ServiceCluster:
+                def arm(self):
+                    self.namenode.dn_call_sync(0, "put", {})
+                    self.namenode.dn_call_sync(0, "get", {})
+                    self.namenode.dn_call_sync(0, "delete", {})
+        """)
+        report = lint(tmp_path)
+        assert report.ok(), report.format_text()
+
+
+class TestFramingOps:
+    NET = """\
+        class AsyncRpcServer:
+            async def _serve_rpc(self, conn, kind):
+                if kind == "bye":
+                    return
+    """
+
+    def test_framing_kind_validates_against_either_server(self, tmp_path):
+        write(tmp_path, "repro/net.py", self.NET)
+        write(tmp_path, "service/datanode.py", DATANODE + """\
+
+    def goodbye(sock):
+        call(sock, "bye", None)
+        call(sock, "put", {})
+        call(sock, "get", {})
+        call(sock, "delete", {})
+""")
+        report = lint(tmp_path)
+        assert report.ok(), report.format_text()
+
+    def test_unsent_framing_kind_is_dead_surface(self, tmp_path):
+        write(tmp_path, "repro/net.py", self.NET)
+        write(tmp_path, "service/datanode.py", DATANODE + """\
+
+    def use(sock):
+        call(sock, "put", {})
+        call(sock, "get", {})
+        call(sock, "delete", {})
+""")
+        report = lint(tmp_path)
+        assert actives(report) == [("rpc.unused-op", "repro/net.py", 3)]
+
+
 class TestContextCallSites:
     def test_op_called_only_from_tests_counts_as_used(self, tmp_path):
         write(tmp_path, "service/namenode.py", NAMENODE)
@@ -198,6 +287,20 @@ class TestWorkerFrames:
         report = lint(tmp_path)
         assert actives(report) == [
             ("rpc.unknown-op", "experiments/distributed.py", 4)]
+
+    def test_conn_send_frames_are_collected(self, tmp_path):
+        # the async coordinator sends via conn.send((kind, data))
+        write(tmp_path, "experiments/distributed.py", """\
+            async def coordinator(conn, kind):
+                if kind == "hello":
+                    await conn.send(("welcome", None))
+
+            def worker(sock, kind, send_frame):
+                if kind == "welcome":
+                    send_frame(sock, ("hello", None))
+        """)
+        report = lint(tmp_path)
+        assert report.ok(), report.format_text()
 
     def test_handled_but_never_sent_frame_kind(self, tmp_path):
         write(tmp_path, "experiments/distributed.py", """\

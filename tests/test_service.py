@@ -4,6 +4,7 @@ subprocesses over loopback sockets.  Covers the acceptance scenario
 checker repairs and re-homes every lost block) plus the two-phase
 write guarantees and the checker's corruption scrub."""
 
+import socket
 import time
 
 import pytest
@@ -17,6 +18,7 @@ from repro.service import (
     parse_fault_plan,
 )
 from repro.service.cluster import _is_settled
+from repro.service.datanode import call
 from repro.service.load import file_payload, run_load
 
 #: Tight timings so failure detection fits in test time.
@@ -191,3 +193,131 @@ class TestTwoPhaseWrites:
                     client.write_file("nope", b"z" * 64, "3-rep")
                 # Reads still fine: the service degrades to read-only.
                 assert client.read_file("ok") == b"z" * 64
+
+
+def _inventory(address) -> dict:
+    """A datanode's full block inventory over the raw framed protocol."""
+    with socket.create_connection(address) as sock:
+        return call(sock, "checksums", {"blocks": None})["checksums"]
+
+
+class TestOrphanGC:
+    """Satellite: the checker sweep reconciles datanode inventories
+    against committed stripes and deletes orphaned blocks."""
+
+    def test_injected_orphan_is_swept(self):
+        with ServiceCluster(6, seed=9, reservation_timeout=1.0,
+                            **FAST) as cluster:
+            with cluster.client(retry=fast_retry(9)) as client:
+                client.write_file("keep", file_payload(9, 0, 9 * 2048),
+                                  "pentagon")
+            address = cluster.namenode._addresses()[0]
+            ghost = ("ghost", 0, 0)
+            with socket.create_connection(address) as sock:
+                call(sock, "put", {"block": ghost, "data": b"\xcc" * 64})
+                assert ghost in call(
+                    sock, "checksums", {"blocks": None})["checksums"]
+            deadline = time.monotonic() + 10
+            inventory = _inventory(address)
+            while ghost in inventory and time.monotonic() < deadline:
+                time.sleep(0.1)
+                inventory = _inventory(address)
+            assert ghost not in inventory
+            # committed blocks survive every sweep
+            with cluster.client(retry=fast_retry(9)) as client:
+                assert (client.read_file("keep")
+                        == file_payload(9, 0, 9 * 2048))
+            assert cluster.status()["checker"]["gc_blocks"] >= 1
+
+    def test_kill_mid_write_leaves_no_orphans(self):
+        """A datanode SIGKILLed mid-write forces a stripe re-placement;
+        blocks put for the abandoned attempt are orphans the checker
+        must collect — every surviving inventory ends up a subset of
+        the committed metadata."""
+        with ServiceCluster(6, seed=5, reservation_timeout=1.0,
+                            **FAST) as cluster:
+            cluster.arm_faults(parse_fault_plan("kill:dn3@k=1", seed=5))
+            with cluster.client(retry=fast_retry(5)) as client:
+                data = file_payload(5, 0, 9 * 2048 * 3 + 9)
+                client.write_file("mw", data, "pentagon")
+                assert client.read_file("mw") == data
+                cluster.wait_settled(timeout=30.0)
+                stat = client.stat("mw")
+            status = cluster.status()
+            addresses = cluster.namenode._addresses()
+            for node_id in status["alive"]:
+                for name, stripe_index, _ in _inventory(
+                        addresses[node_id]):
+                    assert name == "mw"
+                    assert node_id in stat["stripes"][stripe_index]
+
+    def test_expired_reservation_is_garbage_collected(self):
+        """An abandoned two-phase write (begin + put, never commit)
+        expires and its blocks vanish from the datanodes."""
+        with ServiceCluster(6, seed=10, reservation_timeout=0.5,
+                            **FAST) as cluster:
+            with cluster.client(retry=fast_retry(10)) as client:
+                # Drive the two-phase protocol by hand and walk away
+                # after the puts.
+                client._nn_call("begin-write",
+                                {"name": "limbo", "code_name": "3-rep"})
+                placement = client._nn_call(
+                    "place-stripe", {"code_name": "3-rep", "exclude": []})
+                node_id = placement["slot_nodes"][0]
+                address = placement["datanodes"][node_id]
+                limbo = ("limbo", 0, 0)
+                with socket.create_connection(address) as sock:
+                    call(sock, "put",
+                         {"block": limbo, "data": b"\xee" * 2048})
+                deadline = time.monotonic() + 10
+                inventory = _inventory(address)
+                while limbo in inventory and time.monotonic() < deadline:
+                    time.sleep(0.1)
+                    inventory = _inventory(address)
+                assert limbo not in inventory
+                # the name is free again: the reservation expired
+                with pytest.raises(FileNotFoundError):
+                    client.stat("limbo")
+
+
+class TestRackAwarePlacement:
+    """Satellite: a rack map routes placement through
+    RackAwarePlacement so one rack loss stays within code tolerance."""
+
+    RACKS = [2, 2, 2]
+    RACK_OF = {0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 2}
+
+    def test_stripes_span_racks(self):
+        with ServiceCluster(6, seed=3, racks=self.RACKS,
+                            **FAST) as cluster:
+            with cluster.client(retry=fast_retry(3)) as client:
+                client.write_file("r3", file_payload(3, 0, 2048), "3-rep")
+                for nodes in client.stat("r3")["stripes"]:
+                    racks = {self.RACK_OF[n] for n in set(nodes)}
+                    assert len(racks) == 3       # one replica per rack
+            status = cluster.status()
+            for node_id, entry in status["datanodes"].items():
+                assert entry["rack"] == self.RACK_OF[node_id]
+
+    def test_single_rack_loss_stays_readable(self):
+        with ServiceCluster(6, seed=3, racks=self.RACKS,
+                            **FAST) as cluster:
+            with cluster.client(retry=fast_retry(3)) as client:
+                data = file_payload(3, 1, 9 * 2048)
+                client.write_file("rr", data, "pentagon")
+                rep = file_payload(3, 2, 2048)
+                client.write_file("rrep", rep, "3-rep")
+                # Take down all of rack 2 at once.
+                for node_id in (4, 5):
+                    proc = cluster._procs[node_id]
+                    proc.kill()
+                    proc.wait()
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    alive = set(cluster.namenode._alive_ids())
+                    if not alive & {4, 5}:
+                        break
+                    time.sleep(0.1)
+                assert not set(cluster.namenode._alive_ids()) & {4, 5}
+                assert client.read_file("rr") == data
+                assert client.read_file("rrep") == rep
