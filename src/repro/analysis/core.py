@@ -147,15 +147,57 @@ class SourceFile:
             self.parse_error = f"line {exc.lineno}: {exc.msg}"
 
     def waiver_for(self, rule: str, line: int) -> Waiver | None:
-        """The waiver covering ``rule`` at ``line``, if any."""
+        """The waiver covering ``rule`` at ``line``, if any.
+
+        A standalone waiver covers the next *code* line: consecutive
+        standalone waivers stack, and decorator lines are skipped, so
+        a waiver written above ``@retry``-decorated defs lands on the
+        def itself (where checkers report).
+        """
         for waiver in self.waivers:
-            if not waiver.covers(rule):
+            if waiver.covers(rule) and waiver.line == line:
+                return waiver
+        standalone = {w.line: w for w in self.waivers if w.standalone}
+        cursor = line - 1
+        while cursor >= 1:
+            waiver = standalone.get(cursor)
+            if waiver is not None:
+                if waiver.covers(rule):
+                    return waiver
+                cursor -= 1             # stacked standalone waivers
                 continue
-            if waiver.line == line:
-                return waiver
-            if waiver.standalone and waiver.line == line - 1:
-                return waiver
+            text = (self.lines[cursor - 1].strip()
+                    if cursor <= len(self.lines) else "")
+            if text.startswith("@"):
+                cursor -= 1             # decorator between waiver/def
+                continue
+            return None
         return None
+
+
+#: Cross-run parse cache: (path, root) -> (mtime_ns, size, parsed).
+#: Repeated in-process runs (`--changed` loops, the test suite) skip
+#: re-parsing files that have not changed on disk.
+_PARSE_CACHE: dict[tuple[str, str],
+                   tuple[int, int, "SourceFile"]] = {}
+_PARSE_CACHE_LIMIT = 4096
+
+
+def _load_source(path: pathlib.Path, root: pathlib.Path) -> SourceFile:
+    key = (str(path), str(root))
+    try:
+        stat = path.stat()
+    except OSError:
+        return SourceFile(path, root)
+    cached = _PARSE_CACHE.get(key)
+    if (cached is not None and cached[0] == stat.st_mtime_ns
+            and cached[1] == stat.st_size):
+        return cached[2]
+    if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+        _PARSE_CACHE.clear()
+    entry = SourceFile(path, root)
+    _PARSE_CACHE[key] = (stat.st_mtime_ns, stat.st_size, entry)
+    return entry
 
 
 class Project:
@@ -166,7 +208,7 @@ class Project:
                  context_paths: Sequence[pathlib.Path] = ()):
         self.root = root.resolve()
         self.files: list[SourceFile] = [
-            SourceFile(path, self.root)
+            _load_source(path, self.root)
             for path in _discover(self.root, paths)
         ]
         # Context files are parsed and visible to checkers (the RPC
@@ -175,7 +217,7 @@ class Project:
         context = _discover(self.root, context_paths) if context_paths else []
         scanned = {entry.path for entry in self.files}
         self.context_files: list[SourceFile] = [
-            SourceFile(path, self.root) for path in context
+            _load_source(path, self.root) for path in context
             if path not in scanned
         ]
 
@@ -193,8 +235,12 @@ class Project:
 
 def _discover(root: pathlib.Path,
               paths: Sequence[pathlib.Path] | None) -> list[pathlib.Path]:
-    """Python files under ``paths`` (default: the whole root), sorted."""
-    bases = [root] if not paths else [pathlib.Path(p) for p in paths]
+    """Python files under ``paths`` (default: the whole root), sorted.
+
+    An explicit *empty* ``paths`` scans nothing — ``--changed`` with a
+    clean worktree must not fall back to scanning the world."""
+    bases = ([root] if paths is None
+             else [pathlib.Path(p) for p in paths])
     seen: set[pathlib.Path] = set()
     out: list[pathlib.Path] = []
     for base in bases:
@@ -242,7 +288,8 @@ def register(checker: Checker) -> Checker:
 
 def registered_checkers() -> dict[str, Checker]:
     """Name -> checker, with the built-in checker modules loaded."""
-    from . import determinism, locks, picklability, rpc  # noqa: F401
+    from . import (determinism, exceptions, locks,  # noqa: F401
+                   picklability, rpc, schema)
 
     return dict(_REGISTRY)
 
@@ -287,11 +334,96 @@ class LintReport:
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), indent=2, sort_keys=True)
 
+    def to_sarif(self) -> str:
+        """SARIF 2.1.0 — CI renders findings as inline annotations.
+        Active findings are ``warning``-level results; waived ones are
+        ``note``-level with an in-source suppression carrying the
+        justification, so the audit trail survives the format."""
+        rule_meta: dict[str, str] = {}
+        for checker in registered_checkers().values():
+            rule_meta.update(checker.rules)
+        rule_ids = sorted({finding.rule for finding in self.findings})
+        rules = []
+        for rule_id in rule_ids:
+            entry: dict = {"id": rule_id}
+            if rule_id in rule_meta:
+                entry["shortDescription"] = {"text": rule_meta[rule_id]}
+            rules.append(entry)
+        results = []
+        for finding in self.findings:
+            result: dict = {
+                "ruleId": finding.rule,
+                "level": "note" if finding.waived else "warning",
+                "message": {"text": finding.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(finding.line, 1)},
+                    },
+                }],
+            }
+            if finding.waived:
+                result["suppressions"] = [{
+                    "kind": "inSource",
+                    "justification": finding.justification or "",
+                }]
+            results.append(result)
+        sarif = {
+            "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                        "sarif-spec/master/Schemata/sarif-schema-2.1.0"
+                        ".json"),
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "repro-lint",
+                    "version": f"{LINT_SCHEMA_VERSION}",
+                    "rules": rules,
+                }},
+                "originalUriBaseIds": {
+                    "SRCROOT": {
+                        "uri": pathlib.Path(self.root).as_uri() + "/",
+                    },
+                },
+                "results": results,
+            }],
+        }
+        return json.dumps(sarif, indent=2, sort_keys=True)
+
 
 def default_root() -> pathlib.Path:
     """The repo root, derived from the installed package location
     (``src/repro/analysis/core.py`` -> three parents up)."""
     return pathlib.Path(__file__).resolve().parents[3]
+
+
+def changed_paths(root: pathlib.Path,
+                  base: str | None = None) -> list[pathlib.Path]:
+    """Python files changed vs git: worktree + index against ``base``
+    (default ``HEAD``), plus untracked files.  Drives ``repro lint
+    --changed`` — fast pre-commit runs that scan only the diff while
+    the cross-file checkers keep whole-project context."""
+    import subprocess
+
+    def git(*args: str) -> list[str]:
+        proc = subprocess.run(
+            ["git", "-C", str(root), *args],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            detail = proc.stderr.strip() or f"exit {proc.returncode}"
+            raise ValueError(f"git {args[0]} failed: {detail}")
+        return proc.stdout.splitlines()
+
+    names = set(git("diff", "--name-only", base or "HEAD"))
+    names |= set(git("ls-files", "--others", "--exclude-standard"))
+    out = []
+    for name in sorted(names):
+        path = root / name
+        if path.suffix == ".py" and path.is_file():
+            out.append(path)
+    return out
 
 
 def default_scan_paths(root: pathlib.Path) -> list[pathlib.Path]:
@@ -342,6 +474,14 @@ def run_lint(root: pathlib.Path | None = None,
                                     f"{entry.parse_error}"))
     for name in sorted(selected):
         findings.extend(selected[name].run(project))
+    # Cross-file checkers reason over scanned + context files, but
+    # findings belong to scanned files only (so --changed stays sound);
+    # non-.py paths (the wire-schema artifact) are runner-level checks
+    # that always report.
+    scanned_rels = {entry.rel for entry in project.files}
+    findings = [finding for finding in findings
+                if finding.path in scanned_rels
+                or not finding.path.endswith(".py")]
     findings = [_apply_waiver(project, finding) for finding in findings]
     findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
     return LintReport(root=str(project.root),

@@ -21,20 +21,32 @@ any foreign thread queued on that lock (the fault ticker, a bridging
 ``run_coroutine`` caller) deadlocks against the coroutine that will
 never resume.
 
+This is the v2 of the checker: the ordering and blocking analyses now
+ride the project-wide call graph (:mod:`.callgraph`) instead of
+one-level sibling-call propagation.  Lock tokens in the ordering graph
+are **class-qualified** (``self._meta`` in ``NameNodeServer`` is
+``NameNodeServer._meta``), so two classes that both name a field
+``_meta`` no longer alias; edges come from direct nesting *and* from
+any call made under a lock to a function whose transitive lock set
+(fixpoint over the graph) contains another lock; cycles of any length
+are reported, once per edge on the cycle.
+
 Rules
 -----
 ``locks.blocking-call``
     A blocking operation while at least one synchronous lock is held.
-    The lock set is tracked per function through ``with`` blocks;
-    calls to sibling methods that themselves block are the callee's
-    findings.  ``cond.wait()`` / ``cond.wait_for()`` *on a held
-    condition* is exempt — a condition wait releases the lock; that
-    is the pattern, not a bug.
+    Direct calls are matched syntactically; calls into helpers are
+    checked against the call graph — a helper (any hops away, through
+    non-awaited sync calls) that performs socket I/O, an RPC bridge
+    (``run_coroutine``), a subprocess wait or ``time.sleep`` flags the
+    call site that made it under the lock.  ``cond.wait()`` /
+    ``cond.wait_for()`` *on a held condition* is exempt — a condition
+    wait releases the lock; that is the pattern, not a bug.
 ``locks.lock-order``
-    Lock B acquired while holding lock A in one place, and A acquired
-    while holding B in another (direct nesting, or one level through
-    a sibling-method call).  Orders are compared by lock token across
-    all files in scope.
+    Lock-order cycle: B acquired while holding A (directly, or by
+    calling — through any chain — a function that acquires B), and a
+    path in the ordering graph leads from B back to A.  Each edge on
+    the cycle is reported at the site that recorded it.
 ``locks.async-blocking``
     A blocking call (socket I/O, framed send/recv, ``time.sleep``,
     join/wait) inside an ``async def`` that is not awaited — it runs
@@ -45,7 +57,11 @@ Rules
     An ``await`` while holding a synchronous (threading) lock.  The
     coroutine suspends with the lock held; threads blocked on it
     stall for as long as the await takes — or forever, if the thing
-    awaited needs one of those threads.
+    awaited needs one of those threads.  (Transitively this is the
+    whole story: ``await`` is syntactically local to the coroutine,
+    so the cross-function variants are exactly the awaits this rule
+    sees plus the ``run_coroutine`` bridge, which the blocking-call
+    rule covers.)
 
 Scope: ``service/``, ``experiments/distributed.py`` and
 ``repro/net.py``.  Nested functions defined inside a ``with`` block
@@ -59,6 +75,8 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterable
 
+from .callgraph import (CallGraph, CallSite, FunctionInfo, get_callgraph,
+                        lock_token, qualify_token)
 from .core import Checker, Finding, Project, SourceFile, dotted_name, register
 
 SCOPE_SEGMENTS = ("service/",)
@@ -68,43 +86,30 @@ SCOPE_FILES = ("experiments/distributed.py", "repro/net.py")
 BLOCKING_ATTRS = {"recv", "recv_into", "recv_frame", "send", "sendall",
                   "send_frame", "accept", "connect", "makefile",
                   "communicate", "check_call", "check_output", "sleep",
-                  "join", "wait", "wait_for"}
+                  "join", "wait", "wait_for", "run_coroutine"}
 
 #: Bare-name calls that block (module-level helpers).
 BLOCKING_NAMES = {"recv_frame", "send_frame", "create_connection",
-                  "call"}
+                  "call", "run_coroutine"}
 
 #: RPC helper methods — a full request/response round-trip.
 RPC_ATTRS = {"_nn_call", "_dn_call", "call"}
+
+#: Attribute calls the *interprocedural* closure treats as blocking.
+#: Deliberately tighter than :data:`BLOCKING_ATTRS`: without the call
+#: site in hand we cannot tell a thread ``join`` from ``os.path.join``
+#: or a condition ``wait`` from a released one, so the closure only
+#: trusts the unambiguous operations.
+PROPAGATED_BLOCK_ATTRS = {"recv", "recv_into", "recv_frame", "sendall",
+                          "send_frame", "accept", "connect",
+                          "communicate", "check_call", "check_output",
+                          "run_coroutine"}
 
 
 def in_scope(rel: str) -> bool:
     if any(segment in rel for segment in SCOPE_SEGMENTS):
         return True
     return any(rel.endswith(name) for name in SCOPE_FILES)
-
-
-def lock_token(expr: ast.AST) -> str | None:
-    """Canonical token for a with-item that acquires a lock.
-
-    ``self._meta`` -> ``"self._meta"``; ``self._stripe_lock(key)`` ->
-    ``"self._stripe_lock()"`` (all stripe locks are one class for
-    ordering purposes); a bare name containing ``lock`` -> the name.
-    """
-    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
-        attr = expr.attr
-        if (attr in {"_meta", "_state", "_cond"}
-                or "lock" in attr.lower()):
-            return f"{expr.value.id}.{attr}"
-        return None
-    if isinstance(expr, ast.Call):
-        name = dotted_name(expr.func)
-        if name.endswith("_lock") or name.endswith("_stripe_lock"):
-            return f"{name}()"
-        return None
-    if isinstance(expr, ast.Name) and "lock" in expr.id.lower():
-        return expr.id
-    return None
 
 
 def _blocking_reason(node: ast.Call) -> str | None:
@@ -131,36 +136,74 @@ def _blocking_reason(node: ast.Call) -> str | None:
     return None
 
 
-class _MethodLocks(ast.NodeVisitor):
-    """method name -> lock tokens it acquires directly (for one-level
-    call propagation in the ordering analysis)."""
+def _raw_block_reason(raw: str) -> str | None:
+    """The closure's version of :func:`_blocking_reason`, on the dotted
+    call target recorded in a :class:`~.callgraph.CallSite`."""
+    if not raw:
+        return None
+    head, _, attr = raw.rpartition(".")
+    if not head:
+        if raw in BLOCKING_NAMES:
+            return f"{raw}() performs blocking I/O"
+        return None
+    if attr in RPC_ATTRS:
+        return f".{attr}() is a full RPC round-trip"
+    if attr == "run" and head.endswith("subprocess"):
+        return "subprocess.run() waits on a child process"
+    if attr == "sleep":
+        return ".sleep() blocks" if head == "time" else None
+    if attr in PROPAGATED_BLOCK_ATTRS:
+        return f".{attr}() blocks"
+    return None
 
-    def __init__(self) -> None:
-        self.acquired: dict[str, set[str]] = {}
-        self._current: str | None = None
 
-    def _visit_def(self, node: ast.FunctionDef | ast.AsyncFunctionDef
-                   ) -> None:
-        outer = self._current
-        if outer is None:
-            self._current = node.name
-            self.acquired.setdefault(node.name, set())
-        self.generic_visit(node)
-        self._current = outer
+def _condition_exempt(call: CallSite, fn: FunctionInfo) -> bool:
+    """``cond.wait()/wait_for()`` on a condition held at the site."""
+    head, _, attr = call.raw.rpartition(".")
+    if attr not in {"wait", "wait_for"} or not head:
+        return False
+    held_tokens = {token for token, _ in call.held}
+    return qualify_token(head, fn.cls) in held_tokens
 
-    visit_FunctionDef = _visit_def
-    visit_AsyncFunctionDef = _visit_def
 
-    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
-        if self._current is not None:
-            for item in node.items:
-                token = lock_token(item.context_expr)
-                if token is not None:
-                    self.acquired[self._current].add(token)
-        self.generic_visit(node)
+class _BlockClosure:
+    """Function -> first blocking site reachable through non-awaited
+    calls to synchronous functions (an un-awaited call to an ``async
+    def`` never runs its body; an awaited one yields to the loop)."""
 
-    visit_With = _visit_with
-    visit_AsyncWith = _visit_with
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self._memo: dict[str, tuple[str, str, int] | None] = {}
+
+    def block_site(self, qualname: str,
+                   _stack: frozenset = frozenset()
+                   ) -> tuple[str, str, int] | None:
+        if qualname in self._memo:
+            return self._memo[qualname]
+        if qualname in _stack:
+            return None
+        fn = self.graph.functions.get(qualname)
+        if fn is None:
+            return None
+        stack = _stack | {qualname}
+        found: tuple[str, str, int] | None = None
+        for call in fn.calls:
+            if call.awaited or _condition_exempt(call, fn):
+                continue
+            reason = _raw_block_reason(call.raw)
+            if reason is not None:
+                found = (reason, fn.rel, call.line)
+                break
+            if call.callee is None:
+                continue
+            callee = self.graph.functions.get(call.callee)
+            if callee is None or callee.is_async:
+                continue
+            found = self.block_site(call.callee, stack)
+            if found is not None:
+                break
+        self._memo[qualname] = found
+        return found
 
 
 class LockDisciplineChecker(Checker):
@@ -168,11 +211,13 @@ class LockDisciplineChecker(Checker):
     rules = {
         "locks.blocking-call":
             "blocking call (socket I/O, RPC helper, sleep, subprocess "
-            "wait) while holding a lock; a slow peer stalls every "
-            "thread queued on it",
+            "wait) while holding a lock — directly or through any "
+            "call chain; a slow peer stalls every thread queued on it",
         "locks.lock-order":
-            "lock pair acquired in opposite orders in different "
-            "functions; a deadlock waiting for the right interleaving",
+            "lock-order cycle: the ordering graph (direct nesting + "
+            "locks acquired transitively through calls) reaches the "
+            "held lock again; a deadlock waiting for the right "
+            "interleaving",
         "locks.async-blocking":
             "non-awaited blocking call inside an async function; it "
             "runs on the event loop thread and stalls every coroutine "
@@ -184,37 +229,30 @@ class LockDisciplineChecker(Checker):
     }
 
     def run(self, project: Project) -> Iterable[Finding]:
-        # (A, B) -> first "B acquired while holding A" site.
-        order_pairs: dict[tuple[str, str], tuple[str, int]] = {}
         findings: list[Finding] = []
         for entry in project.files:
             if entry.tree is None or not in_scope(entry.rel):
                 continue
-            methods = _MethodLocks()
-            methods.visit(entry.tree)
             for node in ast.walk(entry.tree):
                 if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    self._walk_function(entry, node, methods.acquired,
-                                        findings, order_pairs)
-        findings.extend(self._order_findings(order_pairs))
+                    self._walk_function(entry, node, findings)
+        graph = get_callgraph(project)
+        findings.extend(self._propagated_blocking(graph))
+        findings.extend(self._order_findings(self._order_edges(graph)))
         return findings
 
+    # -- direct per-function rules -------------------------------------
+
     def _walk_function(self, entry: SourceFile, func: ast.AST,
-                       method_locks: dict[str, set[str]],
-                       findings: list[Finding],
-                       order_pairs: dict[tuple[str, str],
-                                         tuple[str, int]]) -> None:
+                       findings: list[Finding]) -> None:
         body = getattr(func, "body", [])
         in_async = isinstance(func, ast.AsyncFunctionDef)
         for stmt in body:
-            self._walk(entry, stmt, (), method_locks, findings,
-                       order_pairs, in_async=in_async)
+            self._walk(entry, stmt, (), findings, in_async=in_async)
 
     def _walk(self, entry: SourceFile, node: ast.AST,
               held: tuple[tuple[str, bool], ...],
-              method_locks: dict[str, set[str]],
               findings: list[Finding],
-              order_pairs: dict[tuple[str, str], tuple[str, int]],
               in_async: bool = False,
               awaited: bool = False) -> None:
         """``held`` is a tuple of ``(token, is_sync)`` pairs: ``with``
@@ -226,22 +264,15 @@ class LockDisciplineChecker(Checker):
             for item in node.items:
                 # the with-expression itself evaluates *before* the
                 # lock is held
-                self._walk(entry, item.context_expr, held, method_locks,
-                           findings, order_pairs, in_async=in_async,
-                           awaited=awaited)
+                self._walk(entry, item.context_expr, held, findings,
+                           in_async=in_async, awaited=awaited)
                 token = lock_token(item.context_expr)
                 if token is not None:
-                    priors = ([name for name, _ in held]
-                              + [name for name, _ in tokens])
-                    for prior in priors:
-                        if prior != token:
-                            order_pairs.setdefault(
-                                (prior, token), (entry.rel, node.lineno))
                     tokens.append((token, is_sync))
             inner = held + tuple(tokens)
             for stmt in node.body:
-                self._walk(entry, stmt, inner, method_locks, findings,
-                           order_pairs, in_async=in_async)
+                self._walk(entry, stmt, inner, findings,
+                           in_async=in_async)
             return
         if isinstance(node, ast.Await):
             sync_held = [name for name, is_sync in held if is_sync]
@@ -253,8 +284,8 @@ class LockDisciplineChecker(Checker):
                     f"thread queued on it stalls"))
             # Everything under the await yields to the loop rather
             # than blocking it (arguments construct coroutines).
-            self._walk(entry, node.value, held, method_locks, findings,
-                       order_pairs, in_async=in_async, awaited=True)
+            self._walk(entry, node.value, held, findings,
+                       in_async=in_async, awaited=True)
             return
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
                              ast.Lambda)):
@@ -264,37 +295,23 @@ class LockDisciplineChecker(Checker):
                             else isinstance(node, ast.AsyncFunctionDef))
             body = node.body if isinstance(node.body, list) else [node.body]
             for stmt in body:
-                self._walk(entry, stmt, held, method_locks, findings,
-                           order_pairs, in_async=nested_async)
+                self._walk(entry, stmt, held, findings,
+                           in_async=nested_async)
             return
         if isinstance(node, ast.Call):
-            self._check_call(entry, node, held, method_locks, findings,
-                             order_pairs, in_async=in_async,
-                             awaited=awaited)
+            self._check_call(entry, node, held, findings,
+                             in_async=in_async, awaited=awaited)
         for child in ast.iter_child_nodes(node):
-            self._walk(entry, child, held, method_locks, findings,
-                       order_pairs, in_async=in_async, awaited=awaited)
+            self._walk(entry, child, held, findings,
+                       in_async=in_async, awaited=awaited)
 
     def _check_call(self, entry: SourceFile, node: ast.Call,
                     held: tuple[tuple[str, bool], ...],
-                    method_locks: dict[str, set[str]],
                     findings: list[Finding],
-                    order_pairs: dict[tuple[str, str],
-                                      tuple[str, int]],
                     in_async: bool = False,
                     awaited: bool = False) -> None:
         func = node.func
         held_tokens = [name for name, _ in held]
-        # One-level ordering propagation: self.m() while holding A,
-        # where m directly acquires B, orders A before B.
-        if (held and isinstance(func, ast.Attribute)
-                and isinstance(func.value, ast.Name)
-                and func.value.id == "self"):
-            for token in method_locks.get(func.attr, ()):
-                for prior in held_tokens:
-                    if prior != token:
-                        order_pairs.setdefault(
-                            (prior, token), (entry.rel, node.lineno))
         # Condition-wait exemption: cond.wait()/wait_for() on a held
         # condition releases it while waiting — that is the pattern.
         if (isinstance(func, ast.Attribute)
@@ -320,24 +337,117 @@ class LockDisciplineChecker(Checker):
                 f"{reason} inside an async function; it runs on the "
                 f"event loop thread and stalls every coroutine"))
 
+    # -- interprocedural blocking --------------------------------------
+
+    def _propagated_blocking(self, graph: CallGraph) -> Iterable[Finding]:
+        """Calls made under a sync lock into helpers that block —
+        through any chain of non-awaited synchronous calls."""
+        closure = _BlockClosure(graph)
+        functions = sorted(
+            (fn for fn in graph.functions.values() if in_scope(fn.rel)),
+            key=lambda f: (f.rel, f.line))
+        for fn in functions:
+            for call in fn.calls:
+                sync_held = [t for t, is_sync in call.held if is_sync]
+                if not sync_held or call.awaited or call.callee is None:
+                    continue
+                if _raw_block_reason(call.raw) is not None:
+                    continue        # the direct rule already fires here
+                callee = graph.functions.get(call.callee)
+                if callee is None or callee.is_async:
+                    continue
+                site = closure.block_site(call.callee)
+                if site is None:
+                    continue
+                reason, rel, line = site
+                yield Finding(
+                    "locks.blocking-call", fn.rel, call.line,
+                    f"{call.raw}() blocks ({reason} at {rel}:{line}) "
+                    f"while holding {', '.join(sync_held)}")
+
+    # -- interprocedural lock ordering ---------------------------------
+
+    def _order_edges(self, graph: CallGraph
+                     ) -> dict[tuple[str, str], tuple[str, int, str]]:
+        """Directed ordering edges ``(held, acquired) -> (rel, line,
+        detail)``, first site wins.  Tokens are class-qualified."""
+        edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+        closure = graph.transitive_locks()
+        functions = sorted(
+            (fn for fn in graph.functions.values() if in_scope(fn.rel)),
+            key=lambda f: (f.rel, f.line))
+        for fn in functions:
+            for acq in fn.acquisitions:
+                for prior in acq.held:
+                    if prior != acq.token:
+                        edges.setdefault(
+                            (prior, acq.token),
+                            (fn.rel, acq.line, ""))
+            for call in fn.calls:
+                if not call.held or call.callee is None:
+                    continue
+                for token in sorted(closure.get(call.callee,
+                                                frozenset())):
+                    for prior, _ in call.held:
+                        if prior == token:
+                            continue
+                        if (prior, token) in edges:
+                            continue
+                        chain = graph.acquire_chain(call.callee, token)
+                        names = " -> ".join(
+                            graph.functions[q].name + "()"
+                            for q in chain)
+                        edges[(prior, token)] = (
+                            fn.rel, call.line,
+                            f" (via {names})" if names else "")
+        return edges
+
     @staticmethod
-    def _order_findings(order_pairs: dict[tuple[str, str],
-                                          tuple[str, int]]
+    def _order_findings(edges: dict[tuple[str, str],
+                                    tuple[str, int, str]]
                         ) -> Iterable[Finding]:
-        for (first, second), (rel, line) in sorted(order_pairs.items()):
-            reverse = order_pairs.get((second, first))
-            if reverse is None or (first, second) > (second, first):
-                continue    # report each inverted pair once, both sites
-            rev_rel, rev_line = reverse
-            yield Finding(
-                "locks.lock-order", rel, line,
-                f"acquires {second} while holding {first}, but "
-                f"{rev_rel}:{rev_line} acquires them in the opposite "
-                f"order")
-            yield Finding(
-                "locks.lock-order", rev_rel, rev_line,
-                f"acquires {first} while holding {second}, but "
-                f"{rel}:{line} acquires them in the opposite order")
+        """One finding per edge that sits on a cycle, at the edge's
+        first-recorded site.  A two-lock inversion therefore reports
+        both sites, exactly as v1 did; longer cycles report each leg."""
+        adjacency: dict[str, set[str]] = {}
+        for first, second in edges:
+            adjacency.setdefault(first, set()).add(second)
+
+        def reaches(start: str, goal: str) -> list[str] | None:
+            parents: dict[str, str] = {}
+            queue, seen = [start], {start}
+            while queue:
+                token = queue.pop(0)
+                if token == goal:
+                    chain = [token]
+                    while chain[-1] in parents:
+                        chain.append(parents[chain[-1]])
+                    return list(reversed(chain))
+                for nxt in sorted(adjacency.get(token, ())):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        parents[nxt] = token
+                        queue.append(nxt)
+            return None
+
+        for (first, second), (rel, line, detail) in sorted(edges.items()):
+            path = reaches(second, first)
+            if path is None:
+                continue
+            reverse = edges.get((second, first))
+            if reverse is not None and len(path) == 2:
+                rev_rel, rev_line, _ = reverse
+                yield Finding(
+                    "locks.lock-order", rel, line,
+                    f"acquires {second} while holding {first}{detail}, "
+                    f"but {rev_rel}:{rev_line} acquires them in the "
+                    f"opposite order")
+            else:
+                cycle = " -> ".join([first, *path])
+                yield Finding(
+                    "locks.lock-order", rel, line,
+                    f"acquires {second} while holding {first}{detail}; "
+                    f"the ordering graph closes a cycle: {cycle}")
 
 
 register(LockDisciplineChecker())

@@ -1,0 +1,896 @@
+"""Wire-schema checker: derive RPC request/response schemas from the
+handler bodies and hold every call site to them.
+
+The service speaks dicts over pickled frames: a namenode op is a
+``_op_<kind>`` method reading keys out of its ``data`` payload and
+returning a reply dict; a datanode op is an arm of ``_handle``'s
+``if kind == ...`` chain; the distributed executor exchanges framed
+``(kind, payload)`` tuples.  None of that is declared anywhere — the
+schema *is* the code — so a client passing ``{"node": ...}`` where the
+handler reads ``data["node_id"]`` fails at runtime, on the remote
+side, as a ``KeyError`` marshalled back as an internal error.
+
+This checker derives the schema from the handlers via the call graph
+(:mod:`.callgraph`) and cross-checks:
+
+* every client/worker call site's dict-literal payload (missing
+  required keys, keys the handler never reads),
+* every read of a reply dict against the union of the response
+  schemas the variable can carry,
+* the distributed frame shapes: send sites establish each kind's
+  payload shape (tuple arity / dict keys / none) and receive-side
+  tuple unpacks and ``f(*data)`` star-calls must match it,
+* the committed machine-readable artifact ``docs/wire_schema.json``
+  (regenerate with ``repro lint --emit-schema``) against the derived
+  truth — CI fails on drift.
+
+Request keys: a ``data["k"]`` read (transitively, following the
+payload forwarded whole into helpers) makes ``k`` required;
+``data.get("k")`` makes it optional.  Response schemas come from the
+return expressions: dict literals, dict-literal variables grown with
+constant subscript stores, and resolved helper calls; multiple
+returns merge (keys union, required intersection).  A non-dict return
+makes the response opaque (``kind: "any"``) and exempt from checks.
+
+The same derived schema drives an opt-in runtime validation shim:
+with ``REPRO_RPC_VALIDATE=1`` the RPC server (:mod:`repro.net`)
+asserts every request before dispatch and every reply after, so a
+schema violation fails loudly in tests instead of surfacing as a
+remote ``KeyError``.  :func:`load_wire_schema` serves the committed
+artifact (falling back to live derivation) and :class:`FrameValidator`
+does the checking.
+
+Rules
+-----
+``schema.missing-key``      call site omits a key the handler requires
+``schema.unknown-key``      call site passes a key the handler never reads
+``schema.unknown-reply-key`` caller reads a reply key no response schema has
+``schema.frame-shape``      distributed frame sent/consumed with mismatched shape
+``schema.artifact-drift``   docs/wire_schema.json is stale
+``schema.artifact-missing`` docs/wire_schema.json has not been generated
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from .callgraph import CallGraph, FunctionInfo, get_callgraph
+from .core import (Checker, Finding, Project, SourceFile, default_root,
+                   dotted_name, register, string_literal)
+
+#: Wire-schema artifact version; bump on incompatible format changes.
+WIRE_SCHEMA_VERSION = 1
+
+#: Repo-relative location of the committed artifact.
+ARTIFACT_REL = "docs/wire_schema.json"
+
+
+# ---------------------------------------------------------------------------
+# Derived schema model
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ResponseSchema:
+    """Merged shape of a handler's return values."""
+
+    kind: str = "dict"                  # "dict" | "any"
+    keys: set[str] = field(default_factory=set)
+    required: set[str] = field(default_factory=set)
+    complete: bool = True               # False once a ** spread appears
+
+    def as_dict(self) -> dict:
+        if self.kind != "dict":
+            return {"kind": self.kind}
+        return {"kind": "dict", "keys": sorted(self.keys),
+                "required": sorted(self.required),
+                "complete": self.complete}
+
+
+@dataclass
+class OpSchema:
+    """One RPC op: request keys in, response shape out."""
+
+    kind: str
+    rel: str
+    line: int
+    required: set[str] = field(default_factory=set)
+    optional: set[str] = field(default_factory=set)
+    response: ResponseSchema = field(default_factory=ResponseSchema)
+
+    def as_dict(self) -> dict:
+        return {"request": {"required": sorted(self.required),
+                            "optional": sorted(self.optional)},
+                "response": self.response.as_dict()}
+
+
+@dataclass
+class FrameShape:
+    """Payload shape of one distributed frame kind, from send sites."""
+
+    kind: str                           # "tuple" | "dict" | "none" | "any"
+    arity: int = 0
+    keys: tuple[str, ...] = ()
+    rel: str = ""
+    line: int = 0
+
+    def as_dict(self) -> dict:
+        if self.kind == "tuple":
+            return {"kind": "tuple", "arity": self.arity}
+        if self.kind == "dict":
+            return {"kind": "dict", "keys": sorted(self.keys)}
+        return {"kind": self.kind}
+
+
+# ---------------------------------------------------------------------------
+# Handler-side derivation
+# ---------------------------------------------------------------------------
+
+def _dict_literal_shape(node: ast.Dict) -> tuple[set[str], bool]:
+    """String keys of a dict literal; ``complete=False`` when any key
+    is dynamic or a ``**`` spread appears."""
+    keys: set[str] = set()
+    complete = True
+    for key in node.keys:
+        if key is None:                 # ** spread
+            complete = False
+            continue
+        text = string_literal(key)
+        if text is None:
+            complete = False
+        else:
+            keys.add(text)
+    return keys, complete
+
+
+def _var_dict_shape(fn: FunctionInfo, name: str
+                    ) -> tuple[set[str], set[str], bool] | None:
+    """Shape of a variable that is built as a dict literal and grown
+    with constant subscript stores (``out = {...}; out["k"] = v``).
+    Returns ``(literal_keys, stored_keys, complete)`` — stored keys
+    may sit behind conditionals, so they are part of the shape but
+    not guaranteed present."""
+    literal_keys: set[str] = set()
+    stored: set[str] = set()
+    complete = True
+    seeded = False
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Name) and target.id == name
+                        and isinstance(node.value, ast.Dict)):
+                    literal, literal_complete = _dict_literal_shape(
+                        node.value)
+                    literal_keys |= literal
+                    complete = complete and literal_complete
+                    seeded = True
+                elif (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == name):
+                    key = string_literal(target.slice)
+                    if key is not None:
+                        stored.add(key)
+                    else:
+                        complete = False
+    if not seeded:
+        return None
+    return literal_keys, stored, complete
+
+
+def _response_from_expr(expr: ast.expr | None, fn: FunctionInfo,
+                        graph: CallGraph,
+                        stack: frozenset) -> ResponseSchema:
+    if isinstance(expr, ast.Dict):
+        keys, complete = _dict_literal_shape(expr)
+        return ResponseSchema("dict", set(keys), set(keys), complete)
+    if isinstance(expr, ast.Name):
+        shape = _var_dict_shape(fn, expr.id)
+        if shape is not None:
+            literal_keys, stored, complete = shape
+            return ResponseSchema(
+                "dict", literal_keys | stored,
+                set(literal_keys) if complete else set(), complete)
+        return ResponseSchema("any")
+    if isinstance(expr, ast.Call):
+        raw = dotted_name(expr.func)
+        callee = graph.resolve_call(raw, fn)
+        if callee is not None and callee not in stack:
+            target = graph.functions.get(callee)
+            if target is not None:
+                return _response_from_function(target, graph,
+                                               stack | {callee})
+        return ResponseSchema("any")
+    return ResponseSchema("any")
+
+
+def _merge_responses(schemas: list[ResponseSchema]) -> ResponseSchema:
+    if not schemas:
+        return ResponseSchema("any")
+    if any(schema.kind != "dict" for schema in schemas):
+        return ResponseSchema("any")
+    merged = ResponseSchema("dict")
+    merged.keys = set().union(*(schema.keys for schema in schemas))
+    merged.required = set.intersection(
+        *(schema.required for schema in schemas))
+    merged.complete = all(schema.complete for schema in schemas)
+    return merged
+
+
+def _response_from_function(fn: FunctionInfo, graph: CallGraph,
+                            stack: frozenset = frozenset()
+                            ) -> ResponseSchema:
+    return _merge_responses([
+        _response_from_expr(value, fn, graph, stack)
+        for value in fn.returns
+    ])
+
+
+def _response_from_statements(stmts: list[ast.stmt], fn: FunctionInfo,
+                              graph: CallGraph) -> ResponseSchema:
+    """Response schema from the ``return``s of one ``_handle`` arm."""
+    returns: list[ast.expr | None] = []
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Return):
+                returns.append(node.value)
+    return _merge_responses([
+        _response_from_expr(value, fn, graph, frozenset())
+        for value in returns
+    ])
+
+
+def _namenode_ops(graph: CallGraph) -> dict[str, OpSchema]:
+    """Ops from ``_op_<kind>`` methods in ``service/namenode.py``."""
+    ops: dict[str, OpSchema] = {}
+    for fn in graph.functions.values():
+        if (not fn.rel.endswith("service/namenode.py")
+                or fn.cls is None or not fn.name.startswith("_op_")):
+            continue
+        kind = fn.name[len("_op_"):].replace("_", "-")
+        op = OpSchema(kind, fn.rel, fn.line)
+        if fn.params:
+            for key, (required, _line) in graph.payload_keys(
+                    fn.qualname, fn.params[0]).items():
+                (op.required if required else op.optional).add(key)
+        op.optional -= op.required
+        op.response = _response_from_function(fn, graph)
+        ops[kind] = op
+    return ops
+
+
+def _arm_payload_keys(stmts: list[ast.stmt], fn: FunctionInfo,
+                      payload: str, graph: CallGraph
+                      ) -> tuple[set[str], set[str]]:
+    """Required/optional keys one ``_handle`` arm reads off ``data``."""
+    required: set[str] = set()
+    optional: set[str] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Subscript)
+                    and isinstance(node.ctx, ast.Load)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == payload):
+                key = string_literal(node.slice)
+                if key is not None:
+                    required.add(key)
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "get"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == payload and node.args):
+                key = string_literal(node.args[0])
+                if key is not None:
+                    optional.add(key)
+            elif isinstance(node, ast.Call):
+                # the payload forwarded whole into a helper
+                raw = dotted_name(node.func)
+                callee = graph.resolve_call(raw, fn)
+                if callee is None:
+                    continue
+                target = graph.functions.get(callee)
+                if target is None:
+                    continue
+                for index, arg in enumerate(node.args):
+                    if (isinstance(arg, ast.Name) and arg.id == payload
+                            and index < len(target.params)):
+                        for key, (req, _line) in graph.payload_keys(
+                                callee, target.params[index]).items():
+                            (required if req else optional).add(key)
+    return required, optional - required
+
+
+def _kind_compare(test: ast.expr) -> tuple[str, str] | None:
+    """``("==", kind)`` / ``("!=", kind)`` for ``kind <op> "lit"``."""
+    if not (isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "kind" and len(test.ops) == 1):
+        return None
+    literal = string_literal(test.comparators[0])
+    if literal is None:
+        return None
+    if isinstance(test.ops[0], ast.Eq):
+        return "==", literal
+    if isinstance(test.ops[0], ast.NotEq):
+        return "!=", literal
+    return None
+
+
+def _datanode_ops(graph: CallGraph) -> dict[str, OpSchema]:
+    """Ops from the ``if kind == ...`` arms of ``_handle`` in
+    ``service/datanode.py``."""
+    ops: dict[str, OpSchema] = {}
+    for fn in graph.functions.values():
+        if (not fn.rel.endswith("service/datanode.py")
+                or fn.cls is None or fn.name != "_handle"):
+            continue
+        payload = fn.params[1] if len(fn.params) > 1 else "data"
+
+        def collect(stmts: list[ast.stmt]) -> None:
+            for stmt in stmts:
+                if not isinstance(stmt, ast.If):
+                    continue
+                compare = _kind_compare(stmt.test)
+                if compare is not None and compare[0] == "==":
+                    kind = compare[1]
+                    op = OpSchema(kind, fn.rel, stmt.lineno)
+                    op.required, op.optional = _arm_payload_keys(
+                        stmt.body, fn, payload, graph)
+                    op.response = _response_from_statements(
+                        stmt.body, fn, graph)
+                    ops.setdefault(kind, op)
+                collect(stmt.orelse)
+
+        collect(fn.node.body)
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# Distributed frame shapes
+# ---------------------------------------------------------------------------
+
+def _frame_payload_shape(expr: ast.expr, fn: FunctionInfo
+                         ) -> FrameShape:
+    if isinstance(expr, ast.Tuple):
+        return FrameShape("tuple", arity=len(expr.elts))
+    if isinstance(expr, ast.Dict):
+        keys, complete = _dict_literal_shape(expr)
+        if complete:
+            return FrameShape("dict", keys=tuple(sorted(keys)))
+        return FrameShape("any")
+    if isinstance(expr, ast.Constant) and expr.value is None:
+        return FrameShape("none")
+    if isinstance(expr, ast.Name):
+        # chase a single tuple/dict assignment in the same function
+        shapes = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (isinstance(target, ast.Name)
+                            and target.id == expr.id):
+                        shapes.append(_frame_payload_shape(
+                            node.value, fn))
+        if shapes and all(s.kind == shapes[0].kind
+                          and s.arity == shapes[0].arity
+                          for s in shapes):
+            return shapes[0]
+    return FrameShape("any")
+
+
+def _is_frame_file(rel: str) -> bool:
+    return rel.endswith("experiments/distributed.py")
+
+
+def _frame_kinds(expr: ast.expr, fn: FunctionInfo
+                 ) -> list[tuple[str, ast.expr]]:
+    """``(kind, payload expr)`` pairs one frame argument can carry.
+    A frame is a 2-tuple ``(kind, payload)``; a variable is chased to
+    its tuple assignments (a worker's ``reply`` is ``("result", ...)``
+    on one branch and ``("error", ...)`` on the other)."""
+    if (isinstance(expr, ast.Tuple) and len(expr.elts) == 2):
+        kind = string_literal(expr.elts[0])
+        return [(kind, expr.elts[1])] if kind is not None else []
+    if isinstance(expr, ast.Name):
+        out: list[tuple[str, ast.expr]] = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (isinstance(target, ast.Name)
+                            and target.id == expr.id):
+                        out.extend(_frame_kinds(node.value, fn))
+        return out
+    return []
+
+
+def _frame_sends(graph: CallGraph
+                 ) -> tuple[dict[str, FrameShape], list[Finding]]:
+    """Frame kind -> payload shape, from every send site in the
+    distributed executor; conflicting tuple arities are findings."""
+    shapes: dict[str, FrameShape] = {}
+    findings: list[Finding] = []
+    for fn in sorted(graph.functions.values(),
+                     key=lambda f: (f.rel, f.line)):
+        if not _is_frame_file(fn.rel):
+            continue
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            raw = dotted_name(node.func)
+            head, _, attr = raw.rpartition(".")
+            if (attr == "send_frame" or raw == "send_frame") \
+                    and len(node.args) >= 2:
+                frame = node.args[1]    # send_frame(sock, frame)
+            elif attr == "send" and head and len(node.args) == 1:
+                frame = node.args[0]    # conn.send(frame)
+            else:
+                continue
+            for kind, payload in _frame_kinds(frame, fn):
+                shape = _frame_payload_shape(payload, fn)
+                shape.rel, shape.line = fn.rel, node.lineno
+                known = shapes.get(kind)
+                if known is None:
+                    shapes[kind] = shape
+                elif (known.kind == "tuple" and shape.kind == "tuple"
+                        and known.arity != shape.arity):
+                    findings.append(Finding(
+                        "schema.frame-shape", fn.rel, node.lineno,
+                        f"frame {kind!r} sent with a "
+                        f"{shape.arity}-tuple here but a "
+                        f"{known.arity}-tuple at "
+                        f"{known.rel}:{known.line}"))
+    return shapes, findings
+
+
+def _frame_receives(graph: CallGraph, shapes: dict[str, FrameShape]
+                    ) -> Iterable[Finding]:
+    """Receive-side shape checks: tuple unpacks and star-calls of the
+    frame payload under an established ``kind`` must match the send
+    shape."""
+    for fn in sorted(graph.functions.values(),
+                     key=lambda f: (f.rel, f.line)):
+        if not _is_frame_file(fn.rel):
+            continue
+        payload_vars = _payload_vars(fn)
+        if not payload_vars:
+            continue
+        yield from _scan_receive_block(fn.node.body, None, fn,
+                                       payload_vars, shapes, graph)
+
+
+def _payload_vars(fn: FunctionInfo) -> set[str]:
+    """Names bound as the payload half of a ``kind, data`` unpack."""
+    out: set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if (isinstance(target, ast.Tuple)
+                    and len(target.elts) == 2
+                    and all(isinstance(e, ast.Name)
+                            for e in target.elts)
+                    and target.elts[0].id == "kind"):
+                out.add(target.elts[1].id)
+    return out
+
+
+def _scan_receive_block(stmts: list[ast.stmt], kind: str | None,
+                        fn: FunctionInfo, payload_vars: set[str],
+                        shapes: dict[str, FrameShape],
+                        graph: CallGraph) -> Iterable[Finding]:
+    for index, stmt in enumerate(stmts):
+        if isinstance(stmt, ast.If):
+            compare = _kind_compare(stmt.test)
+            if compare is not None and compare[0] == "==":
+                yield from _scan_receive_block(
+                    stmt.body, compare[1], fn, payload_vars, shapes,
+                    graph)
+                yield from _scan_receive_block(
+                    stmt.orelse, kind, fn, payload_vars, shapes, graph)
+                continue
+            if (compare is not None and compare[0] == "!="
+                    and stmt.body
+                    and isinstance(stmt.body[-1],
+                                   (ast.Raise, ast.Return,
+                                    ast.Continue, ast.Break))):
+                # guard style: everything after runs with kind == lit
+                yield from _scan_receive_block(
+                    stmt.body, kind, fn, payload_vars, shapes, graph)
+                yield from _scan_receive_block(
+                    stmts[index + 1:], compare[1], fn, payload_vars,
+                    shapes, graph)
+                return
+        if kind is not None:
+            yield from _check_receive_statement(
+                stmt, kind, fn, payload_vars, shapes, graph)
+        for body in (getattr(stmt, "body", None),
+                     getattr(stmt, "orelse", None),
+                     getattr(stmt, "finalbody", None)):
+            if isinstance(body, list) and not isinstance(stmt, ast.If):
+                yield from _scan_receive_block(
+                    body, kind, fn, payload_vars, shapes, graph)
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield from _scan_receive_block(
+                handler.body, kind, fn, payload_vars, shapes, graph)
+
+
+def _check_receive_statement(stmt: ast.stmt, kind: str,
+                             fn: FunctionInfo, payload_vars: set[str],
+                             shapes: dict[str, FrameShape],
+                             graph: CallGraph) -> Iterable[Finding]:
+    shape = shapes.get(kind)
+    if shape is None or shape.kind == "any":
+        return
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if (isinstance(target, ast.Tuple)
+                    and isinstance(stmt.value, ast.Name)
+                    and stmt.value.id in payload_vars):
+                arity = len(target.elts)
+                if shape.kind != "tuple":
+                    yield Finding(
+                        "schema.frame-shape", fn.rel, stmt.lineno,
+                        f"frame {kind!r} payload is "
+                        f"{shape.kind} (sent at {shape.rel}:"
+                        f"{shape.line}) but unpacked as a "
+                        f"{arity}-tuple")
+                elif arity != shape.arity:
+                    yield Finding(
+                        "schema.frame-shape", fn.rel, stmt.lineno,
+                        f"frame {kind!r} payload is a "
+                        f"{shape.arity}-tuple (sent at {shape.rel}:"
+                        f"{shape.line}) but unpacked as a "
+                        f"{arity}-tuple")
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        starred = [arg for arg in node.args
+                   if isinstance(arg, ast.Starred)
+                   and isinstance(arg.value, ast.Name)
+                   and arg.value.id in payload_vars]
+        if not starred:
+            continue
+        callee = graph.resolve_call(dotted_name(node.func), fn)
+        target = graph.functions.get(callee) if callee else None
+        if target is None:
+            continue
+        fixed = len(node.args) - 1      # positionals before *data
+        expected = len(target.params) - fixed
+        if shape.kind == "tuple" and expected != shape.arity:
+            yield Finding(
+                "schema.frame-shape", fn.rel, node.lineno,
+                f"frame {kind!r} payload is a {shape.arity}-tuple "
+                f"(sent at {shape.rel}:{shape.line}) but "
+                f"{target.name}() takes {expected} payload "
+                f"argument(s)")
+
+
+# ---------------------------------------------------------------------------
+# Client-side call sites and reply reads
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _WireCall:
+    """One resolved client-side RPC call site."""
+
+    service: str                        # "namenode" | "datanode"
+    kind: str
+    payload: ast.expr | None
+    node: ast.Call
+    line: int
+
+
+def _wire_call(node: ast.Call, ops: dict[str, dict[str, OpSchema]]
+               ) -> _WireCall | None:
+    """Classify a call expression as an RPC call site, if it is one."""
+    raw = dotted_name(node.func)
+    if not raw:
+        return None
+    head, _, attr = raw.rpartition(".")
+
+    def make(service: str, kind_arg: int) -> _WireCall | None:
+        if len(node.args) <= kind_arg:
+            return None
+        kind = string_literal(node.args[kind_arg])
+        if kind is None:
+            return None
+        payload = (node.args[kind_arg + 1]
+                   if len(node.args) > kind_arg + 1 else None)
+        return _WireCall(service, kind, payload, node, node.lineno)
+
+    if attr == "_nn_call" or raw == "_nn_call":
+        return make("namenode", 0)
+    if attr in {"_dn_call", "dn_call_sync"}:
+        return make("datanode", 1)
+    if raw == "call":                   # module-level call(sock, kind, data)
+        found = make("datanode", 1)
+        if found is not None and found.kind not in ops["datanode"] \
+                and found.kind in ops["namenode"]:
+            found.service = "namenode"
+        return found
+    if attr == "call" and head:         # client.call(kind, data)
+        found = make("namenode", 0)
+        if found is None:
+            return None
+        if found.kind not in ops["namenode"] \
+                and found.kind in ops["datanode"]:
+            found.service = "datanode"
+        return found
+    return None
+
+
+def _check_call_sites(graph: CallGraph,
+                      ops: dict[str, dict[str, OpSchema]]
+                      ) -> Iterable[Finding]:
+    for fn in sorted(graph.functions.values(),
+                     key=lambda f: (f.rel, f.line)):
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            site = _wire_call(node, ops)
+            if site is None:
+                continue
+            op = ops[site.service].get(site.kind)
+            if op is None:
+                continue                # rpc checker owns unknown ops
+            if not isinstance(site.payload, ast.Dict):
+                continue                # only literal payloads checked
+            keys, complete = _dict_literal_shape(site.payload)
+            if not complete:
+                continue
+            for missing in sorted(op.required - keys):
+                yield Finding(
+                    "schema.missing-key", fn.rel, site.line,
+                    f"{site.service} op {site.kind!r} requires "
+                    f"payload key {missing!r} (read at {op.rel}:"
+                    f"{op.line}) but this call omits it")
+            for unknown in sorted(keys - op.required - op.optional):
+                yield Finding(
+                    "schema.unknown-key", fn.rel, site.line,
+                    f"{site.service} op {site.kind!r} never reads "
+                    f"payload key {unknown!r} (handler at {op.rel}:"
+                    f"{op.line})")
+
+
+def _check_reply_reads(graph: CallGraph,
+                       ops: dict[str, dict[str, OpSchema]]
+                       ) -> Iterable[Finding]:
+    """Reads of reply dicts checked against the union of the response
+    schemas a variable can carry (skipped unless all are complete)."""
+    for fn in sorted(graph.functions.values(),
+                     key=lambda f: (f.rel, f.line)):
+        replies: dict[str, list[OpSchema]] = {}
+        opaque: set[str] = set()
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if isinstance(value, ast.Await):
+                value = value.value
+            names = [t.id for t in node.targets
+                     if isinstance(t, ast.Name)]
+            if not names or not isinstance(value, ast.Call):
+                continue
+            site = _wire_call(value, ops)
+            if site is None:
+                for name in names:
+                    opaque.add(name)    # reassigned from non-RPC
+                continue
+            op = ops[site.service].get(site.kind)
+            for name in names:
+                if op is None:
+                    opaque.add(name)
+                else:
+                    replies.setdefault(name, []).append(op)
+        for name, sources in replies.items():
+            if name in opaque:
+                continue
+            responses = [op.response for op in sources]
+            if any(r.kind != "dict" or not r.complete
+                   for r in responses):
+                continue
+            known = set().union(*(r.keys for r in responses))
+            origin = ", ".join(sorted({f"{op.kind!r}"
+                                       for op in sources}))
+            for node in ast.walk(fn.node):
+                if (isinstance(node, ast.Subscript)
+                        and isinstance(node.ctx, ast.Load)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == name):
+                    key = string_literal(node.slice)
+                    if key is not None and key not in known:
+                        yield Finding(
+                            "schema.unknown-reply-key", fn.rel,
+                            node.lineno,
+                            f"reply of op(s) {origin} has no key "
+                            f"{key!r} (response keys: "
+                            f"{', '.join(sorted(known)) or 'none'})")
+
+
+# ---------------------------------------------------------------------------
+# The artifact
+# ---------------------------------------------------------------------------
+
+def derive_wire_schema(project: Project) -> dict:
+    """The machine-readable wire schema derived from the handlers."""
+    graph = get_callgraph(project)
+    shapes, _ = _frame_sends(graph)
+    return {
+        "version": WIRE_SCHEMA_VERSION,
+        "services": {
+            "namenode": {kind: op.as_dict() for kind, op
+                         in sorted(_namenode_ops(graph).items())},
+            "datanode": {kind: op.as_dict() for kind, op
+                         in sorted(_datanode_ops(graph).items())},
+        },
+        "frames": {kind: shape.as_dict()
+                   for kind, shape in sorted(shapes.items())},
+    }
+
+
+def render_wire_schema(schema: dict) -> str:
+    return json.dumps(schema, indent=2, sort_keys=True) + "\n"
+
+
+def load_wire_schema(root: pathlib.Path | None = None) -> dict:
+    """The committed artifact, or a live derivation when absent (a
+    source checkout mid-edit, an installed package without docs/)."""
+    root = root or default_root()
+    artifact = root / ARTIFACT_REL
+    if artifact.is_file():
+        return json.loads(artifact.read_text(encoding="utf-8"))
+    project = Project(root, None)
+    return derive_wire_schema(project)
+
+
+# ---------------------------------------------------------------------------
+# Runtime validation (REPRO_RPC_VALIDATE=1)
+# ---------------------------------------------------------------------------
+
+class FrameValidator:
+    """Assert live RPC frames against the derived schema.
+
+    Returns problem strings rather than raising so the transport
+    (:mod:`repro.net`) can wrap violations in its own typed error.
+    """
+
+    def __init__(self, schema: dict):
+        self._services: dict = schema.get("services", {})
+
+    def validate_request(self, service: str, kind: str,
+                         payload) -> str | None:
+        op = self._services.get(service, {}).get(kind)
+        if op is None:
+            return None                 # unknown op: dispatch decides
+        request = op.get("request", {})
+        required = set(request.get("required", ()))
+        optional = set(request.get("optional", ()))
+        if not isinstance(payload, dict):
+            if required:
+                return (f"op {kind!r} needs a dict payload with "
+                        f"key(s) {', '.join(sorted(required))}; got "
+                        f"{type(payload).__name__}")
+            return None
+        keys = {key for key in payload if isinstance(key, str)}
+        missing = required - keys
+        if missing:
+            return (f"op {kind!r} payload is missing required "
+                    f"key(s) {', '.join(sorted(missing))}")
+        unknown = keys - required - optional
+        if unknown:
+            return (f"op {kind!r} payload has unknown key(s) "
+                    f"{', '.join(sorted(unknown))}")
+        return None
+
+    def validate_reply(self, service: str, kind: str,
+                       reply) -> str | None:
+        op = self._services.get(service, {}).get(kind)
+        if op is None:
+            return None
+        response = op.get("response", {})
+        if response.get("kind") != "dict" \
+                or not response.get("complete", False):
+            return None
+        if not isinstance(reply, dict):
+            return (f"op {kind!r} reply should be a dict; got "
+                    f"{type(reply).__name__}")
+        missing = set(response.get("required", ())) - set(reply)
+        if missing:
+            return (f"op {kind!r} reply is missing key(s) "
+                    f"{', '.join(sorted(missing))}")
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The checker
+# ---------------------------------------------------------------------------
+
+#: Files the schema derivation reads; the drift gate only runs when
+#: every one that exists on disk is actually loaded into the project.
+_SOURCE_SUFFIXES = ("service/namenode.py", "service/datanode.py",
+                    "experiments/distributed.py")
+
+
+def _derivation_sources_loaded(project: Project) -> bool:
+    from .core import SKIP_DIRS
+    loaded = {entry.rel for entry in project.all_files()}
+    for suffix in _SOURCE_SUFFIXES:
+        filename = suffix.rsplit("/", 1)[1]
+        for path in project.root.rglob(filename):
+            if any(part in SKIP_DIRS for part in path.parts):
+                continue
+            rel = path.relative_to(project.root).as_posix()
+            if rel.endswith(suffix) and rel not in loaded:
+                return False
+    return True
+
+
+class WireSchemaChecker(Checker):
+    name = "schema"
+    rules = {
+        "schema.missing-key":
+            "RPC call site omits a payload key the handler reads "
+            "unconditionally — a remote KeyError at runtime",
+        "schema.unknown-key":
+            "RPC call site passes a payload key the handler never "
+            "reads — dead weight on the wire, usually a typo",
+        "schema.unknown-reply-key":
+            "caller reads a reply key absent from every response "
+            "schema the variable can carry",
+        "schema.frame-shape":
+            "distributed frame sent and consumed with different "
+            "payload shapes (tuple arity / dict / none)",
+        "schema.artifact-drift":
+            "docs/wire_schema.json no longer matches the schema "
+            "derived from the handlers; regenerate with "
+            "`repro lint --emit-schema`",
+        "schema.artifact-missing":
+            "docs/wire_schema.json has not been generated; run "
+            "`repro lint --emit-schema`",
+    }
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        graph = get_callgraph(project)
+        ops = {"namenode": _namenode_ops(graph),
+               "datanode": _datanode_ops(graph)}
+        findings: list[Finding] = []
+        shapes, send_findings = _frame_sends(graph)
+        findings.extend(send_findings)
+        findings.extend(_frame_receives(graph, shapes))
+        findings.extend(_check_call_sites(graph, ops))
+        findings.extend(_check_reply_reads(graph, ops))
+        findings.extend(self._check_artifact(project))
+        return findings
+
+    def _check_artifact(self, project: Project) -> Iterable[Finding]:
+        docs = project.root / "docs"
+        if not docs.is_dir():
+            return                      # fixture trees have no docs/
+        if not _derivation_sources_loaded(project):
+            # Partial scan (e.g. `repro lint somefile.py`): the
+            # derived schema would be incomplete, so a drift verdict
+            # would be noise.  The full run still gates.
+            return
+        artifact = project.root / ARTIFACT_REL
+        if not artifact.is_file():
+            yield Finding("schema.artifact-missing", ARTIFACT_REL, 1,
+                          self.rules["schema.artifact-missing"])
+            return
+        try:
+            committed = json.loads(
+                artifact.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            yield Finding("schema.artifact-drift", ARTIFACT_REL, 1,
+                          f"artifact is not valid JSON: {exc}")
+            return
+        if committed != derive_wire_schema(project):
+            yield Finding("schema.artifact-drift", ARTIFACT_REL, 1,
+                          self.rules["schema.artifact-drift"])
+
+
+register(WireSchemaChecker())

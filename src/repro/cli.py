@@ -60,19 +60,25 @@ Static analysis
 ---------------
 
 ``repro lint`` runs the invariant checkers over the tree (determinism,
-picklability, lock discipline, RPC surface; see ``docs/linting.md``)::
+picklability, lock discipline, RPC surface, wire schemas, typed
+errors; see ``docs/linting.md``)::
 
     python -m repro lint                 # scan src/ benchmarks/ examples/
-    python -m repro lint --json          # machine-readable report
+    python -m repro lint --format json   # machine-readable report
+    python -m repro lint --format sarif  # SARIF 2.1.0 for code scanners
+    python -m repro lint --changed       # only files touched vs HEAD
+    python -m repro lint --emit-schema   # (re)generate docs/wire_schema.json
     python -m repro lint src/repro/service --checker locks
 
 Exit status is nonzero when any unwaived finding remains — CI runs it
-as a hard gate.
+as a hard gate, plus a drift check that ``docs/wire_schema.json``
+matches the schema derived from the handlers.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 from .experiments import (
@@ -106,15 +112,59 @@ def run_lint_cmd(args: argparse.Namespace) -> None:
             for rule, description in sorted(checker.rules.items()):
                 print(f"  {rule}: {description}")
         return
+    from .analysis import core as analysis_core
+
+    root = analysis_core.default_root()
+    if args.emit_schema is not None:
+        from .analysis import schema as analysis_schema
+        target = (pathlib.Path(args.emit_schema) if args.emit_schema
+                  else root / analysis_schema.ARTIFACT_REL)
+        project = analysis_core.Project(
+            root, analysis_core.default_scan_paths(root))
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            analysis_schema.render_wire_schema(
+                analysis_schema.derive_wire_schema(project)))
+        print(f"wrote {target}")
+        return
+    paths = args.paths or None
+    context = None
+    if args.changed is not None:
+        try:
+            base = args.changed if args.changed != "HEAD" else None
+            changed = analysis.changed_paths(root, base=base)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            raise SystemExit(2) from None
+        # Findings are scoped to the changed files, but cross-file
+        # checkers (RPC surface, wire schemas) still need the whole
+        # tree in view — pass the default scan roots as read-only
+        # context.  Changed test files stay context-only, as always.
+        scan_roots = analysis_core.default_scan_paths(root)
+        paths = [p for p in changed
+                 if any(p == base_dir or base_dir in p.parents
+                        for base_dir in scan_roots)]
+        if not paths:
+            print("no changed python files in the scanned trees; "
+                  "nothing to lint")
+            return
+        context = list(scan_roots)
+        tests = root / "tests"
+        if tests.is_dir():
+            context.append(tests)
     try:
         report = analysis.run_lint(
-            paths=args.paths or None,
-            checkers=args.checker or None)
+            paths=paths,
+            checkers=args.checker or None,
+            context_paths=context)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         raise SystemExit(2) from None
-    if args.json:
+    fmt = args.format or ("json" if args.json else "text")
+    if fmt == "json":
         print(report.to_json())
+    elif fmt == "sarif":
+        print(report.to_sarif())
     else:
         print(report.format_text())
     if not report.ok():
@@ -457,13 +507,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint", help="run the invariant static-analysis suite "
-                     "(determinism, picklability, locks, RPC surface)")
+                     "(determinism, picklability, locks, RPC surface, "
+                     "wire schemas, typed errors)")
     p_lint.add_argument(
         "paths", nargs="*", metavar="PATH",
         help="files or directories to scan (default: the repo's src/, "
              "benchmarks/ and examples/ trees)")
     p_lint.add_argument("--json", action="store_true",
-                        help="emit the report as JSON on stdout")
+                        help="emit the report as JSON on stdout "
+                             "(alias for --format json)")
+    p_lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default=None,
+        help="report format (default: text; sarif emits SARIF 2.1.0 "
+             "for code-scanning uploads)")
+    p_lint.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None,
+        metavar="REF",
+        help="scan only python files changed versus REF "
+             "(default REF: HEAD, i.e. uncommitted + untracked work)")
+    p_lint.add_argument(
+        "--emit-schema", nargs="?", const="", default=None,
+        metavar="PATH",
+        help="derive the wire schema from the service handlers, write "
+             "it to PATH (default: docs/wire_schema.json) and exit")
     p_lint.add_argument("--rules", action="store_true",
                         help="list every checker and rule, then exit")
     p_lint.add_argument(

@@ -34,6 +34,7 @@ or a private cluster network; TLS/token auth is a ROADMAP follow-up.
 from __future__ import annotations
 
 import asyncio
+import os
 import pickle
 import socket
 import struct
@@ -487,6 +488,11 @@ class _RpcProtocol(asyncio.Protocol):
         producing one (the request touched something async)."""
         server = self.server
         try:
+            if server._validator is not None:
+                problem = server._validator.validate_request(
+                    server._validate_service, kind, data)
+                if problem is not None:
+                    raise ProtocolError(f"schema violation: {problem}")
             if server._before_request is not None:
                 gate = server._before_request(kind, data)
                 if asyncio.iscoroutine(gate):
@@ -494,9 +500,18 @@ class _RpcProtocol(asyncio.Protocol):
             result = server._handler(kind, data, self.peer)
             if asyncio.iscoroutine(result):
                 return self._finish(None, kind, data, result)
+            self._check_reply(kind, result)
             return ("ok", result)
         except Exception as error:
             return ("err", server._marshal(error))
+
+    def _check_reply(self, kind: str, result) -> None:
+        server = self.server
+        if server._validator is not None:
+            problem = server._validator.validate_reply(
+                server._validate_service, kind, result)
+            if problem is not None:
+                raise ProtocolError(f"schema violation: {problem}")
 
     async def _finish(self, gate, kind, data, pending) -> tuple:
         server = self.server
@@ -508,6 +523,7 @@ class _RpcProtocol(asyncio.Protocol):
                     result = await result
             else:
                 result = await pending
+            self._check_reply(kind, result)
             return ("ok", result)
         except Exception as error:
             return ("err", server._marshal(error))
@@ -598,6 +614,23 @@ class AsyncRpcServer:
         self._idle_timeout = idle_timeout
         self._drain_timeout = drain_timeout
         self._name = name
+        self._validator = None
+        self._validate_service = None
+        if handler is not None and os.environ.get(
+                "REPRO_RPC_VALIDATE", "") not in ("", "0"):
+            # Opt-in schema enforcement for tests/CI: assert every RPC
+            # frame against the derived wire schema
+            # (docs/wire_schema.json, or a live derivation when the
+            # artifact is absent).  Stream-mode connections own their
+            # own protocol and are not validated.
+            service = ("namenode" if name == "namenode"
+                       else "datanode" if name.startswith("datanode")
+                       else None)
+            if service is not None:
+                from .analysis.schema import (FrameValidator,
+                                              load_wire_schema)
+                self._validator = FrameValidator(load_wire_schema())
+                self._validate_service = service
         self._busy = 0
         self._closing = False
         self._closed = False

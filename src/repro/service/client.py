@@ -338,6 +338,7 @@ class StorageClient:
         for node_id, blocks in by_node.items():
             try:
                 self._dn_call(node_id, "delete", {"blocks": blocks})
+            # lint: allow(exceptions.silent-swallow): best-effort orphan cleanup on an already-failed write; the namenode's GC sweep reclaims anything this misses
             except Exception:
                 pass
 
@@ -346,6 +347,7 @@ class StorageClient:
         self._delete_blocks(placed)
         try:
             self._nn_call("abort-write", {"name": name})
+        # lint: allow(exceptions.silent-swallow): abort-write is a courtesy to free the pending slot early; the namenode expires stale pending writes on its own
         except Exception:
             pass
 
@@ -593,5 +595,6 @@ class StorageClient:
                           {"node_id": node_id,
                            "block": block_tuple(block)})
             self.counters["corrupt_reports"] += 1
+        # lint: allow(exceptions.silent-swallow): corruption reporting is an optimization; the next checker scrub finds the bad block anyway
         except Exception:
-            pass        # the next scrub will find it anyway
+            pass

@@ -171,11 +171,14 @@ class DataNodeServer:
                 coefficients.append(int(coefficient))
                 buffers.append(
                     self.store.get(block_from_tuple(entry), verify=True))
-            if not buffers:
-                raise ProtocolError("combine of zero blocks")
-            # One fused backend-routed pass instead of a scale+add chain
-            # (still under the lock: stored arrays are live references).
-            return linear_combine(coefficients, buffers)
+        if not buffers:
+            raise ProtocolError("combine of zero blocks")
+        # One fused backend-routed pass, outside the lock: the store
+        # never mutates an array in place (put/corrupt swap in fresh
+        # arrays), so the snapshot taken under the lock stays
+        # consistent — and a first-use native-kernel build (subprocess
+        # compile) cannot stall every other block op on this node.
+        return linear_combine(coefficients, buffers)
 
     def _checksums(self, entries) -> dict:
         """Current CRCs (recomputed — what a disk scrub would see).

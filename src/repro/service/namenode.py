@@ -156,7 +156,15 @@ class NameNodeServer:
     def _code(self, code_name: str) -> Code:
         with self._meta:
             if code_name not in self._codes:
-                self._codes[code_name] = make_code(code_name)
+                try:
+                    self._codes[code_name] = make_code(code_name)
+                except KeyError as exc:
+                    # the registry's KeyError is not in _ERROR_CODES;
+                    # untranslated it would cross the wire as a
+                    # generic 'internal' error instead of bad-request
+                    raise ProtocolError(
+                        f"unknown code name {code_name!r}: "
+                        f"{exc.args[0] if exc.args else exc}") from exc
             return self._codes[code_name]
 
     def _alive_ids(self) -> list[int]:

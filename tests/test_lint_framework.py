@@ -213,3 +213,133 @@ class TestShippedTree:
         report = run_lint()
         for finding in report.waived:
             assert finding.justification, finding.format()
+
+
+class TestWaiverPlacement:
+    def test_stacked_standalone_waivers(self, tmp_path):
+        write(tmp_path, "experiments/sweep.py", """\
+            import random
+            import time
+
+            def draw():
+                # lint: allow(determinism.global-rng): fixture
+                # lint: allow(determinism.wall-clock): fixture
+                return random.random() + time.time()
+        """)
+        report = lint(tmp_path, checkers=["determinism"])
+        assert report.ok()
+        assert {f.rule for f in report.waived} == {
+            "determinism.global-rng", "determinism.wall-clock"}
+
+    def test_standalone_waiver_skips_decorator_lines(self, tmp_path):
+        # a waiver written above the decorators still covers the def
+        path = write(tmp_path, "mod.py", """\
+            # lint: allow(some.rule): covers the decorated def
+            @property
+            @staticmethod
+            def thing():
+                return 1
+        """)
+        entry = SourceFile(path, tmp_path)
+        assert entry.waiver_for("some.rule", 4) is not None
+        assert entry.waiver_for("some.rule", 5) is None
+
+
+class TestParseCache:
+    def test_rewritten_file_is_reparsed(self, tmp_path):
+        from repro.analysis.core import Project
+        write(tmp_path, "experiments/sweep.py", BAD_EXPERIMENT)
+        first = Project(tmp_path, [tmp_path])
+        assert lint(tmp_path, checkers=["determinism"]).active
+        write(tmp_path, "experiments/sweep.py", "VALUE = 1\n")
+        assert lint(tmp_path, checkers=["determinism"]).ok()
+        second = Project(tmp_path, [tmp_path])
+        assert first.files[0].tree is not second.files[0].tree
+
+    def test_untouched_file_reuses_the_parse(self, tmp_path):
+        from repro.analysis.core import Project
+        write(tmp_path, "experiments/sweep.py", BAD_EXPERIMENT)
+        first = Project(tmp_path, [tmp_path])
+        second = Project(tmp_path, [tmp_path])
+        assert first.files[0] is second.files[0]
+
+
+class TestChangedScoping:
+    def _git(self, root, *args):
+        import subprocess
+        subprocess.run(
+            ["git", "-C", str(root), "-c", "user.email=t@t",
+             "-c", "user.name=t", *args],
+            check=True, capture_output=True)
+
+    def test_changed_paths_sees_worktree_and_untracked(self, tmp_path):
+        from repro.analysis import changed_paths
+        self._git(tmp_path, "init", "-q")
+        committed = write(tmp_path, "src/mod.py", "VALUE = 1\n")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        assert changed_paths(tmp_path) == []
+        committed.write_text("VALUE = 2\n")
+        fresh = write(tmp_path, "src/new.py", "OTHER = 3\n")
+        write(tmp_path, "notes.txt", "not python\n")
+        assert changed_paths(tmp_path) == [committed, fresh]
+
+    def test_changed_paths_against_a_ref(self, tmp_path):
+        from repro.analysis import changed_paths
+        self._git(tmp_path, "init", "-q")
+        write(tmp_path, "src/mod.py", "VALUE = 1\n")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "one")
+        write(tmp_path, "src/mod.py", "VALUE = 2\n")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "two")
+        assert changed_paths(tmp_path) == []
+        assert changed_paths(tmp_path, base="HEAD~1") == [
+            tmp_path / "src/mod.py"]
+
+    def test_bad_ref_raises_value_error(self, tmp_path):
+        from repro.analysis import changed_paths
+        self._git(tmp_path, "init", "-q")
+        with pytest.raises(ValueError, match="git"):
+            changed_paths(tmp_path, base="no-such-ref")
+
+    def test_empty_paths_scans_nothing(self, tmp_path):
+        write(tmp_path, "experiments/sweep.py", BAD_EXPERIMENT)
+        report = run_lint(root=tmp_path, paths=[], context_paths=[])
+        assert report.ok()
+        assert report.findings == []
+
+
+class TestSarif:
+    def test_sarif_shape_and_suppressions(self, tmp_path):
+        write(tmp_path, "experiments/sweep.py", """\
+            import random
+            import time
+
+            def draw():
+                t = time.time()  # lint: allow(determinism.wall-clock): fixture
+                return random.random() + t
+        """)
+        report = lint(tmp_path, checkers=["determinism"])
+        sarif = json.loads(report.to_sarif())
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "determinism.global-rng" in rule_ids
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels["determinism.global-rng"] == "warning"
+        assert levels["determinism.wall-clock"] == "note"
+        (suppressed,) = [r for r in run["results"]
+                         if r["ruleId"] == "determinism.wall-clock"]
+        assert suppressed["suppressions"][0]["justification"] == "fixture"
+        location = run["results"][0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+
+    def test_cli_format_sarif(self, tmp_path, capsys):
+        write(tmp_path, "experiments/sweep.py", BAD_EXPERIMENT)
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["lint", "--format", "sarif", str(tmp_path)])
+        assert exc.value.code == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["runs"][0]["results"]

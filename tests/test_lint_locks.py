@@ -352,3 +352,104 @@ class TestScope:
         """)
         assert report.ok()
         assert len(report.waived) == 1
+
+
+class TestInterprocedural:
+    def test_two_hop_lock_cycle(self, tmp_path):
+        # neither function nests the locks directly: outer_a holds
+        # _meta and reaches _store_lock through mid(); outer_b nests
+        # the opposite way.  Only the transitive closure sees it.
+        report = lint_source(tmp_path, """\
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._meta = threading.RLock()
+                    self._store_lock = threading.Lock()
+
+                def outer_a(self):
+                    with self._meta:
+                        return self.mid()
+
+                def mid(self):
+                    return self.leaf()
+
+                def leaf(self):
+                    with self._store_lock:
+                        return 1
+
+                def outer_b(self):
+                    with self._store_lock:
+                        with self._meta:
+                            return 2
+        """)
+        found = rules(report)
+        assert [rule for rule, _ in found] == [
+            "locks.lock-order", "locks.lock-order"]
+        # the call-edge finding names the chain through mid()
+        messages = [f.message for f in report.active]
+        assert any("mid" in message for message in messages)
+
+    def test_propagated_blocking_through_helpers(self, tmp_path):
+        # send() blocks two calls away; direct per-file rules cannot
+        # see it, the closure can
+        report = lint_source(tmp_path, """\
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._meta = threading.RLock()
+
+                def bad(self, payload):
+                    with self._meta:
+                        self.notify(payload)
+
+                def notify(self, payload):
+                    self.push(payload)
+
+                def push(self, payload):
+                    self.sock.sendall(payload)
+        """)
+        found = rules(report)
+        assert ("locks.blocking-call", 9) in found
+        messages = [f.message for f in report.active]
+        assert any("notify" in message for message in messages)
+
+    def test_propagation_stops_at_async_callees(self, tmp_path):
+        # a sync caller never runs an async def's body by calling it;
+        # building the coroutine does not block
+        report = lint_source(tmp_path, """\
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._meta = threading.RLock()
+
+                def ok(self, payload):
+                    with self._meta:
+                        return self.emit(payload)
+
+                async def emit(self, payload):
+                    self.sock.sendall(payload)
+        """)
+        blocked = [r for r, _ in rules(report)
+                   if r == "locks.blocking-call"]
+        assert blocked == []
+
+    def test_condition_wait_exemption_survives_propagation(self,
+                                                           tmp_path):
+        report = lint_source(tmp_path, """\
+            import threading
+
+            class Coordinator:
+                def __init__(self):
+                    self._state = threading.Condition()
+
+                def outer(self):
+                    with self._state:
+                        return self.park()
+
+                def park(self):
+                    self._state.wait(0.1)
+        """)
+        assert report.ok()

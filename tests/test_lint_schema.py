@@ -1,0 +1,186 @@
+"""Wire-schema checker: request schemas derived from handler bodies
+are enforced at call sites, reply reads are checked against response
+schemas, distributed frame shapes must agree end to end, and the
+committed artifact is drift-gated."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import (derive_wire_schema, render_wire_schema,
+                            run_lint)
+from repro.analysis.core import Project
+
+NAMENODE = """\
+    class NameNodeServer:
+        def _op_stat(self, data):
+            name = data["name"]
+            verbose = data.get("verbose", False)
+            return {"size": 7, "stripes": 3}
+
+        def _op_shutdown(self, data):
+            return {}
+"""
+
+
+def build(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return run_lint(root=tmp_path, paths=[tmp_path],
+                    checkers=["schema"], context_paths=[])
+
+
+def active(report):
+    return [(f.rule, f.path, f.line) for f in report.active]
+
+
+class TestDerivation:
+    def test_request_and_response_schema(self, tmp_path):
+        for rel, src in {"service/namenode.py": NAMENODE}.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(src))
+        project = Project(tmp_path, [tmp_path], context_paths=())
+        schema = derive_wire_schema(project)
+        stat = schema["services"]["namenode"]["stat"]
+        assert stat["request"]["required"] == ["name"]
+        assert stat["request"]["optional"] == ["verbose"]
+        assert sorted(stat["response"]["keys"]) == ["size", "stripes"]
+        assert stat["response"]["complete"] is True
+
+    def test_render_is_stable(self, tmp_path):
+        (tmp_path / "service").mkdir(parents=True)
+        (tmp_path / "service/namenode.py").write_text(
+            textwrap.dedent(NAMENODE))
+        project = Project(tmp_path, [tmp_path], context_paths=())
+        text = render_wire_schema(derive_wire_schema(project))
+        assert text.endswith("\n")
+        assert json.loads(text)["version"] == 1
+        # deterministic: deriving twice renders byte-identically
+        again = Project(tmp_path, [tmp_path], context_paths=())
+        assert render_wire_schema(derive_wire_schema(again)) == text
+
+
+class TestCallSites:
+    def test_mismatched_payload_key_caught(self, tmp_path):
+        report = build(tmp_path, {
+            "service/namenode.py": NAMENODE,
+            "service/client.py": """\
+                class StorageClient:
+                    def stat(self, name):
+                        return self._nn_call("stat", {"nam": name})
+            """,
+        })
+        found = active(report)
+        assert ("schema.missing-key", "service/client.py", 3) in found
+        assert ("schema.unknown-key", "service/client.py", 3) in found
+
+    def test_correct_call_site_is_clean(self, tmp_path):
+        report = build(tmp_path, {
+            "service/namenode.py": NAMENODE,
+            "service/client.py": """\
+                class StorageClient:
+                    def stat(self, name):
+                        return self._nn_call(
+                            "stat", {"name": name, "verbose": True})
+            """,
+        })
+        assert active(report) == []
+
+    def test_unknown_reply_key(self, tmp_path):
+        report = build(tmp_path, {
+            "service/namenode.py": NAMENODE,
+            "service/client.py": """\
+                class StorageClient:
+                    def stat(self, name):
+                        reply = self._nn_call("stat", {"name": name})
+                        return reply["sise"]
+            """,
+        })
+        assert ("schema.unknown-reply-key", "service/client.py", 4) \
+            in active(report)
+
+
+class TestFrames:
+    def test_frame_shape_mismatch(self, tmp_path):
+        report = build(tmp_path, {
+            "experiments/distributed.py": """\
+                from repro.net import send_frame, recv_frame
+
+                def coordinator(sock, generation, unit_id, payload):
+                    send_frame(sock, ("unit", (generation, payload)))
+
+                def worker(sock):
+                    kind, data = recv_frame(sock)
+                    if kind == "unit":
+                        generation, unit_id, payload = data
+                        return payload
+            """,
+        })
+        assert [(f.rule, f.path) for f in report.active] == [
+            ("schema.frame-shape", "experiments/distributed.py")]
+
+    def test_matching_frames_clean(self, tmp_path):
+        report = build(tmp_path, {
+            "experiments/distributed.py": """\
+                from repro.net import send_frame, recv_frame
+
+                def coordinator(sock, generation, unit_id, payload):
+                    send_frame(sock, ("unit", (generation, unit_id,
+                                               payload)))
+
+                def worker(sock):
+                    kind, data = recv_frame(sock)
+                    if kind == "unit":
+                        generation, unit_id, payload = data
+                        return payload
+            """,
+        })
+        assert active(report) == []
+
+
+class TestArtifactGate:
+    FILES = {"service/namenode.py": NAMENODE}
+
+    def _write(self, tmp_path, extra=()):
+        files = dict(self.FILES, **dict(extra))
+        for rel, src in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(src))
+
+    def test_missing_artifact_flagged_when_docs_exist(self, tmp_path):
+        self._write(tmp_path)
+        (tmp_path / "docs").mkdir()
+        report = run_lint(root=tmp_path, paths=[tmp_path],
+                          checkers=["schema"], context_paths=[])
+        assert [(f.rule, f.path) for f in report.active] == [
+            ("schema.artifact-missing", "docs/wire_schema.json")]
+
+    def test_no_docs_dir_no_artifact_gate(self, tmp_path):
+        self._write(tmp_path)
+        report = run_lint(root=tmp_path, paths=[tmp_path],
+                          checkers=["schema"], context_paths=[])
+        assert active(report) == []
+
+    def test_fresh_artifact_clean_then_drifts(self, tmp_path):
+        self._write(tmp_path)
+        (tmp_path / "docs").mkdir()
+        project = Project(tmp_path, [tmp_path], context_paths=())
+        (tmp_path / "docs/wire_schema.json").write_text(
+            render_wire_schema(derive_wire_schema(project)))
+        report = run_lint(root=tmp_path, paths=[tmp_path],
+                          checkers=["schema"], context_paths=[])
+        assert active(report) == []
+        # grow the handler surface without regenerating: drift
+        (tmp_path / "service/namenode.py").write_text(
+            textwrap.dedent(NAMENODE)
+            + '\n    def _op_extra(self, data):\n'
+              '        return {"ok": data["flag"]}\n')
+        report = run_lint(root=tmp_path, paths=[tmp_path],
+                          checkers=["schema"], context_paths=[])
+        assert [(f.rule, f.path) for f in report.active] == [
+            ("schema.artifact-drift", "docs/wire_schema.json")]
